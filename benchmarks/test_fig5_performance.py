@@ -1,0 +1,79 @@
+"""Figure 5 — Mix1..Mix4 under Shared / Isolated / SSDKeeper (+hybrid).
+
+Regenerates the paper's headline evaluation: the four Table-IV mixes of MSR
+stand-ins run under the traditional Shared allocation, blind equal
+Isolation, SSDKeeper's learned allocation, and SSDKeeper with the hybrid
+page allocator.  Shape checked: SSDKeeper never loses badly to Shared
+(its fallback answer *is* Shared) and beats it on average, while blind
+Isolation is catastrophic for at least one mix (the paper's Mix1: -327 %).
+"""
+
+import numpy as np
+
+from repro.harness import fig5_performance, format_table
+from repro.harness.experiments import labeler_config
+from repro.core import ChannelAllocator, SSDKeeper
+from repro.harness import trained_learner, build_mixes
+
+
+def test_fig5_regenerate_and_bench(benchmark, scale, cache, report):
+    data = fig5_performance(scale, cache=cache)
+    mixes = data["mixes"]
+
+    rows = []
+    for mix_name, entry in mixes.items():
+        for tag, vals in entry["rows"].items():
+            rows.append(
+                [
+                    mix_name,
+                    tag,
+                    f"{vals['mean_write_us']:.0f}",
+                    f"{vals['mean_read_us']:.0f}",
+                    f"{vals['mean_total_us']:.0f}",
+                    f"{vals['total_latency_s']:.3f}",
+                ]
+            )
+    table = format_table(
+        ["mix", "allocation", "write us", "read us", "w+r us", "total (s)"],
+        rows,
+        title="Figure 5: per-mix latency under each allocation",
+    )
+    # The paper's overall metric is mean write latency + mean read latency.
+    gains = []
+    for mix_name, entry in mixes.items():
+        shared = entry["rows"]["Shared"]["mean_total_us"]
+        keeper = entry["rows"]["SSDKeeper+hybrid"]["mean_total_us"]
+        gains.append(1.0 - keeper / shared)
+    summary = (
+        "SSDKeeper+hybrid vs Shared (mean write + mean read), per mix: "
+        + ", ".join(
+            f"{name}: {g:+.1%}" for name, g in zip(mixes, gains)
+        )
+        + f"\nmean improvement: {np.mean(gains):+.1%} (paper: +24% overall)"
+    )
+    report("fig5_performance", table + "\n\n" + summary)
+
+    # Shape assertions.
+    assert np.mean(gains) > -0.05, "SSDKeeper should not lose to Shared on average"
+    iso_losses = [
+        entry["rows"]["Isolated"]["mean_total_us"]
+        / entry["rows"]["Shared"]["mean_total_us"]
+        for entry in mixes.values()
+    ]
+    assert max(iso_losses) > 1.2, "blind isolation should hurt at least one mix"
+
+    # Kernel: one Algorithm-2 adaptive run on a short window of Mix1.
+    cfg = labeler_config()
+    learner = trained_learner(scale, cache=cache)
+    short = build_mixes(scale)["Mix1"].requests[:800]
+
+    def adaptive_run():
+        keeper = SSDKeeper(
+            ChannelAllocator(learner),
+            cfg.ssd,
+            collect_window_us=cfg.window_s * 1e6,
+            intensity_quantum=cfg.intensity_quantum,
+        )
+        return keeper.run(list(short))
+
+    benchmark(adaptive_run)

@@ -1,0 +1,70 @@
+"""Figure 6 — SSDKeeper's strategy choice over (intensity, write proportion).
+
+Regenerates the strategy-map scatter: for random four-tenant mixes across
+every intensity level, record the trained allocator's decision against the
+mix's intensity level (X) and total write proportion (Y), with four-part
+permutations collapsed as in the paper (5:1:1:1 covers 1:5:1:1 etc.).
+
+Shape checked: decisions vary with both axes (no constant strategy), and at
+low write proportions the write-dominated group receives few channels.
+"""
+
+from collections import Counter, defaultdict
+
+import numpy as np
+
+from repro.core import FeatureVector
+from repro.harness import fig6_strategy_map, format_table, trained_learner
+
+
+def test_fig6_regenerate_and_bench(benchmark, scale, cache, report):
+    data = fig6_strategy_map(scale, cache=cache)
+    points = data["points"]
+
+    # Bucket the scatter into a compact level x write-band table.
+    buckets: dict[tuple[int, str], Counter] = defaultdict(Counter)
+    for p in points:
+        level_band = f"{(p['intensity_level'] // 4) * 4}-{(p['intensity_level'] // 4) * 4 + 3}"
+        wp_band = f"{int(p['write_proportion'] * 4) * 25}%"
+        buckets[(level_band, wp_band)][p["simplified"]] += 1
+    rows = [
+        [level, wp, counter.most_common(1)[0][0], sum(counter.values())]
+        for (level, wp), counter in sorted(buckets.items())
+    ]
+    table = format_table(
+        ["intensity band", "write band", "modal strategy", "points"],
+        rows,
+        title="Figure 6: modal allocation per (intensity, write-proportion) region",
+    )
+    histogram = Counter(p["simplified"] for p in points)
+    table += "\n\nstrategy histogram: " + ", ".join(
+        f"{name}:{count}" for name, count in histogram.most_common()
+    )
+    report("fig6_strategy_map", table)
+
+    assert len(histogram) >= 3, "decisions should vary across the map"
+    # Low-write mixes must not hand the write group most of the device
+    # (the paper: one channel for writes when write proportion < 0.2).
+    low_wp = [p for p in points if p["write_proportion"] < 0.2]
+    if low_wp:
+        def write_hogging(label: str) -> bool:
+            parts = label.split(":")
+            # Only two-part labels encode the write group directly.
+            return len(parts) == 2 and parts[0] in ("6", "7")
+
+        hogging = sum(1 for p in low_wp if write_hogging(p["strategy"]))
+        assert hogging / len(low_wp) < 0.3
+
+    # Kernel: one map point (inference only).
+    learner = trained_learner(scale, cache=cache)
+    rng = np.random.default_rng(0)
+
+    def one_point():
+        fv = FeatureVector(
+            int(rng.integers(0, 20)),
+            tuple(int(rng.integers(0, 2)) for _ in range(4)),
+            tuple(rng.dirichlet(np.ones(4))),
+        )
+        return learner.predict_index(fv)
+
+    benchmark(one_point)

@@ -1,0 +1,10 @@
+"""Legacy setup shim.
+
+The offline environment ships setuptools 65 without the ``wheel`` package,
+which breaks PEP 660 editable installs; this shim lets ``pip install -e .``
+fall back to ``setup.py develop``.  All metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,7 @@
+"""``python -m repro`` — regenerate paper tables and figures from the CLI."""
+
+import sys
+
+from .harness.cli import main
+
+sys.exit(main())

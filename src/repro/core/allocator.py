@@ -1,0 +1,131 @@
+"""Channel allocator (Section IV-D) and verified allocation.
+
+The inference-side component that lives in the FTL: takes the features
+collector's vector, runs one forward pass of the trained network, and emits
+the channel allocation to apply.  Also reproduces the paper's overhead
+arithmetic — storage is 16 bytes per neuron (weight + bias), compute is
+``sum(N_i * N_{i+1})`` float multiplies per decision — which for the 9-64-42
+network is 1,696 bytes and 3,264 multiplies: negligible for an SSD
+controller.
+
+:func:`verified_allocate` is a hardening extension beyond the paper: the
+network proposes its top-k strategies, the FTL replays the just-observed
+request window through the fast latency model under each candidate, and
+deploys the measured best.  A handful of millisecond-scale replays per
+decision converts the model's rare catastrophic mispredictions (a 42-class
+argmax can land on an overloading split) into near-optimal picks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from ..ssd.config import SSDConfig
+from ..ssd.fastmodel import fast_simulate
+from ..ssd.request import IORequest
+from .features import FeatureVector
+from .hybrid import PagePolicy, page_modes_for
+from .learner import StrategyLearner
+from .strategies import Strategy
+
+__all__ = ["OverheadReport", "ChannelAllocator", "verified_allocate"]
+
+
+@dataclass(frozen=True)
+class OverheadReport:
+    """The Section IV-D cost model of running the allocator in the FTL."""
+
+    storage_bytes: int
+    multiplies_per_inference: int
+    layer_sizes: tuple[int, ...]
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        arch = "->".join(str(s) for s in self.layer_sizes)
+        return (
+            f"allocator overhead: {self.storage_bytes} B storage, "
+            f"{self.multiplies_per_inference} multiplies per decision ({arch})"
+        )
+
+
+class ChannelAllocator:
+    """Well-trained model + strategy vocabulary, deployed for inference."""
+
+    def __init__(self, learner: StrategyLearner) -> None:
+        self.learner = learner
+        self.space = learner.space
+        #: decision log: (features, chosen strategy) pairs, newest last
+        self.decisions: list[tuple[FeatureVector, Strategy]] = []
+
+    def allocate(self, features: FeatureVector) -> Strategy:
+        """Pick the allocation strategy for the observed mixed workload."""
+        if features.n_tenants != self.space.n_tenants:
+            raise ValueError(
+                f"features describe {features.n_tenants} tenants, allocator "
+                f"is trained for {self.space.n_tenants}"
+            )
+        strategy = self.learner.predict(features)
+        self.decisions.append((features, strategy))
+        return strategy
+
+    def channel_sets(self, features: FeatureVector) -> dict[int, list[int]]:
+        """Allocate and expand to concrete per-tenant channel sets."""
+        strategy = self.allocate(features)
+        return strategy.channel_sets(
+            self.space.n_channels, features.write_dominated()
+        )
+
+    def top_k(self, features: FeatureVector, k: int) -> list[Strategy]:
+        """The k most likely strategies by network logit, best first."""
+        if k < 1:
+            raise ValueError("k must be >= 1")
+        x = self.learner.scaler.transform(features.to_array()[None, :])
+        logits = self.learner.network.forward(x)[0]
+        order = np.argsort(-logits)[: min(k, len(self.space))]
+        return [self.space[int(i)] for i in order]
+
+    def overhead_report(self, bytes_per_neuron: int = 16) -> OverheadReport:
+        """The paper's storage/compute cost estimate for this network."""
+        net = self.learner.network
+        return OverheadReport(
+            storage_bytes=net.storage_bytes(bytes_per_neuron),
+            multiplies_per_inference=net.forward_multiplies(),
+            layer_sizes=tuple(net.layer_sizes),
+        )
+
+
+def verified_allocate(
+    allocator: ChannelAllocator,
+    features: FeatureVector,
+    window: Sequence[IORequest],
+    config: SSDConfig,
+    *,
+    top_k: int = 3,
+    page_policy: PagePolicy = PagePolicy.HYBRID,
+) -> Strategy:
+    """Pick among the network's top-k strategies by replaying the window.
+
+    Each candidate's channel sets are evaluated with the vectorised fast
+    model on the requests actually observed during the collection window;
+    the strategy with the lowest mean-read + mean-write latency wins.  The
+    decision (with the verified winner) is appended to the allocator's log.
+    """
+    if not window:
+        return allocator.allocate(features)
+    candidates = allocator.top_k(features, top_k)
+    write_dominated = features.write_dominated()
+    page_modes = page_modes_for(page_policy, features)
+    best: Strategy | None = None
+    best_cost = float("inf")
+    for strategy in candidates:
+        sets = strategy.channel_sets(config.channels, write_dominated)
+        result = fast_simulate(list(window), config, sets, page_modes)
+        cost = result.write.mean_us + result.read.mean_us
+        if cost < best_cost:
+            best_cost = cost
+            best = strategy
+    assert best is not None
+    allocator.decisions.append((features, best))
+    return best

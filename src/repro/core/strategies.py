@@ -1,0 +1,251 @@
+"""Channel-allocation strategy space.
+
+The paper's strategy vocabulary (Section IV-C):
+
+* **Shared** — every tenant stripes over all channels (a traditional SSD);
+* **Isolated** — tenants split the channels equally (4:4 for two tenants,
+  2:2:2:2 for four);
+* **two-part splits** ``a:b`` — the write-dominated tenants share ``a``
+  channels, the read-dominated tenants share the remaining ``b``
+  (Figure 2's 7:1 … 1:7);
+* **four-part splits** ``a:b:c:d`` — every tenant gets its own exclusive
+  channel range (5:1:1:1, 4:2:1:1, …).
+
+For two tenants on an 8-channel device the space has **8** strategies
+(Shared, Isolated, 7:1, 6:2, 5:3, 3:5, 2:6, 1:7); for four tenants it has
+**42** — the same 8 plus the 34 remaining ordered compositions of 8 into 4
+positive parts (2:2:2:2 is already counted as Isolated).  These counts are
+asserted against the paper in the tests.
+
+The canonical enumeration order of :func:`enumerate_strategies` defines the
+ANN's class labels, so it must stay stable.
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from dataclasses import dataclass
+from typing import Sequence
+
+__all__ = [
+    "StrategyKind",
+    "Strategy",
+    "enumerate_strategies",
+    "StrategySpace",
+    "compositions",
+]
+
+
+class StrategyKind(enum.Enum):
+    """The four allocation shapes of Section IV-C."""
+
+    SHARED = "shared"
+    ISOLATED = "isolated"
+    TWO_PART = "two-part"
+    PER_TENANT = "per-tenant"
+
+
+@dataclass(frozen=True)
+class Strategy:
+    """One channel-allocation strategy.
+
+    ``parts`` is empty for SHARED/ISOLATED, ``(write_channels,
+    read_channels)`` for TWO_PART, and one entry per tenant for PER_TENANT.
+    """
+
+    kind: StrategyKind
+    parts: tuple[int, ...] = ()
+
+    def __post_init__(self) -> None:
+        if self.kind in (StrategyKind.SHARED, StrategyKind.ISOLATED):
+            if self.parts:
+                raise ValueError(f"{self.kind.value} takes no parts")
+        elif self.kind is StrategyKind.TWO_PART:
+            if len(self.parts) != 2:
+                raise ValueError("two-part strategy needs exactly 2 parts")
+        elif len(self.parts) < 2:
+            raise ValueError("per-tenant strategy needs >= 2 parts")
+        if any(p < 1 for p in self.parts):
+            raise ValueError("every part must get at least one channel")
+
+    # ------------------------------------------------------------------
+    @property
+    def label(self) -> str:
+        """Paper-style name: "Shared", "Isolated", "7:1", "5:1:1:1"."""
+        if self.kind is StrategyKind.SHARED:
+            return "Shared"
+        if self.kind is StrategyKind.ISOLATED:
+            return "Isolated"
+        return ":".join(str(p) for p in self.parts)
+
+    def simplified_label(self) -> str:
+        """Figure-6 grouping: per-tenant permutations collapse to the
+        descending-sorted form (5:1:1:1 covers 1:5:1:1 etc.)."""
+        if self.kind is StrategyKind.PER_TENANT:
+            return ":".join(str(p) for p in sorted(self.parts, reverse=True))
+        return self.label
+
+    # ------------------------------------------------------------------
+    def channel_sets(
+        self,
+        n_channels: int,
+        write_dominated: Sequence[bool],
+    ) -> dict[int, list[int]]:
+        """Concrete per-tenant channel sets for this strategy.
+
+        ``write_dominated[i]`` is the collector's R/W characteristic of
+        tenant ``i`` and decides group membership for two-part splits.
+        """
+        n_tenants = len(write_dominated)
+        if n_tenants < 1:
+            raise ValueError("need at least one tenant")
+        all_channels = list(range(n_channels))
+
+        if self.kind is StrategyKind.SHARED:
+            return {wid: all_channels for wid in range(n_tenants)}
+
+        if self.kind is StrategyKind.ISOLATED:
+            if n_channels % n_tenants != 0:
+                raise ValueError(
+                    f"Isolated needs channels ({n_channels}) divisible by "
+                    f"tenants ({n_tenants})"
+                )
+            per = n_channels // n_tenants
+            return {
+                wid: all_channels[wid * per : (wid + 1) * per]
+                for wid in range(n_tenants)
+            }
+
+        if self.kind is StrategyKind.TWO_PART:
+            w, r = self.parts
+            if w + r != n_channels:
+                raise ValueError(
+                    f"two-part {self.label} does not cover {n_channels} channels"
+                )
+            write_set = all_channels[:w]
+            read_set = all_channels[w:]
+            return {
+                wid: (write_set if write_dominated[wid] else read_set)
+                for wid in range(n_tenants)
+            }
+
+        # PER_TENANT
+        if len(self.parts) != n_tenants:
+            raise ValueError(
+                f"per-tenant strategy has {len(self.parts)} parts for "
+                f"{n_tenants} tenants"
+            )
+        if sum(self.parts) != n_channels:
+            raise ValueError(
+                f"per-tenant {self.label} does not cover {n_channels} channels"
+            )
+        sets: dict[int, list[int]] = {}
+        cursor = 0
+        for wid, width in enumerate(self.parts):
+            sets[wid] = all_channels[cursor : cursor + width]
+            cursor += width
+        return sets
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.label
+
+
+def compositions(total: int, parts: int) -> list[tuple[int, ...]]:
+    """Ordered compositions of ``total`` into ``parts`` positive integers,
+    in lexicographically descending order (7:1 before 1:7, 5:1:1:1 before
+    1:1:1:5) to match the paper's listing style."""
+    if parts < 1:
+        raise ValueError("parts must be >= 1")
+    out = [
+        tuple(c)
+        for c in itertools.product(range(1, total - parts + 2), repeat=parts)
+        if sum(c) == total
+    ]
+    out.sort(reverse=True)
+    return out
+
+
+def enumerate_strategies(n_channels: int = 8, n_tenants: int = 4) -> list["Strategy"]:
+    """Canonical strategy list (the ANN's class vocabulary).
+
+    Order: Shared, Isolated, two-part splits (excluding the equal split,
+    which Isolated already covers for 2 tenants), then per-tenant
+    compositions (excluding the equal one, which Isolated covers for
+    n_tenants > 2).
+    """
+    if n_channels < 2:
+        raise ValueError("need at least 2 channels")
+    if n_tenants < 2:
+        raise ValueError("need at least 2 tenants")
+    strategies = [Strategy(StrategyKind.SHARED), Strategy(StrategyKind.ISOLATED)]
+    # The paper's vocabulary never lists the equal two-way split: for 2
+    # tenants Isolated covers it, and for 4 tenants it is simply absent
+    # (8 + 34 = 42 strategies).  Odd channel counts have no equal split.
+    equal_two = (
+        (n_channels // 2, n_channels // 2) if n_channels % 2 == 0 else None
+    )
+    for parts in compositions(n_channels, 2):
+        if parts == equal_two:
+            continue
+        strategies.append(Strategy(StrategyKind.TWO_PART, parts))
+    if n_tenants > 2:
+        if n_channels % n_tenants == 0:
+            equal_n = tuple([n_channels // n_tenants] * n_tenants)
+        else:
+            equal_n = None
+        for parts in compositions(n_channels, n_tenants):
+            if parts == equal_n:
+                continue  # Isolated covers the equal n-way split
+            strategies.append(Strategy(StrategyKind.PER_TENANT, parts))
+    return strategies
+
+
+class StrategySpace:
+    """Indexed strategy vocabulary for one (channels, tenants) setting."""
+
+    def __init__(self, n_channels: int = 8, n_tenants: int = 4) -> None:
+        self.n_channels = n_channels
+        self.n_tenants = n_tenants
+        self.strategies = enumerate_strategies(n_channels, n_tenants)
+        self._index = {s: i for i, s in enumerate(self.strategies)}
+        self._by_label = {s.label: s for s in self.strategies}
+
+    def __len__(self) -> int:
+        return len(self.strategies)
+
+    def __iter__(self):
+        return iter(self.strategies)
+
+    def __getitem__(self, index: int) -> Strategy:
+        return self.strategies[index]
+
+    def index_of(self, strategy: Strategy) -> int:
+        try:
+            return self._index[strategy]
+        except KeyError:
+            raise ValueError(f"{strategy} not in this space") from None
+
+    def by_label(self, label: str) -> Strategy:
+        try:
+            return self._by_label[label]
+        except KeyError:
+            raise ValueError(
+                f"no strategy labelled {label!r} in this space"
+            ) from None
+
+    @property
+    def shared(self) -> Strategy:
+        return self.strategies[0]
+
+    @property
+    def isolated(self) -> Strategy:
+        return self.strategies[1]
+
+    def describe(self) -> str:
+        return (
+            f"{len(self)} strategies for {self.n_tenants} tenants on "
+            f"{self.n_channels} channels: "
+            + ", ".join(s.label for s in self.strategies[:10])
+            + (" ..." if len(self) > 10 else "")
+        )

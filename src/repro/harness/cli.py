@@ -1,0 +1,261 @@
+"""Command-line interface: regenerate any paper table or figure.
+
+Usage::
+
+    python -m repro info
+    python -m repro fig2 --scale smoke
+    python -m repro tab3
+    python -m repro fig5 --scale default
+    python -m repro all --scale smoke
+
+Each experiment prints its regenerated table; expensive artifacts are
+cached under ``.repro-cache`` exactly as in the benches.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable
+
+import numpy as np
+
+from ..core.strategies import StrategySpace
+from ..ssd.config import SSDConfig
+from .ablations import (
+    ablation_fastmodel,
+    ablation_features,
+    ablation_hybrid,
+    ablation_model_size,
+    ablation_scheduling,
+)
+from .experiments import (
+    MIX_COMPOSITIONS,
+    labeler_config,
+    trained_learner,
+    fig2_motivation,
+    fig5_performance,
+    fig6_strategy_map,
+    tab2_workloads,
+    tab5_allocations,
+    train_all,
+)
+from .reporting import banner, format_series, format_table
+from .scale import Scale
+
+__all__ = ["main"]
+
+
+def _cmd_info(scale: Scale) -> str:
+    config = SSDConfig.paper()
+    space = StrategySpace(8, 4)
+    lines = [
+        banner("SSDKeeper reproduction"),
+        config.describe(),
+        space.describe(),
+        f"scale: {scale.name} (dataset {scale.dataset_samples} mixes, "
+        f"{scale.train_iterations} iterations, fig2 {scale.fig2_requests} "
+        f"requests/point, mixes {scale.mix_requests} requests)",
+        "mix compositions: "
+        + "; ".join(f"{k}={'+'.join(v)}" for k, v in MIX_COMPOSITIONS.items()),
+    ]
+    return "\n".join(lines)
+
+
+def _cmd_fig2(scale: Scale) -> str:
+    data = fig2_motivation(scale)
+    parts = []
+    for key, title in (
+        ("write_latency_us", "Figure 2(a): mean write latency (us)"),
+        ("read_latency_us", "Figure 2(b): mean read latency (us)"),
+        ("total_latency_us", "Figure 2(c): total (write+read) latency (us)"),
+    ):
+        parts.append(
+            format_series(
+                "write_prop",
+                data["write_proportions"],
+                {s: data[key][s] for s in data["strategies"]},
+                title=title,
+            )
+        )
+    return "\n\n".join(parts)
+
+
+def _cmd_fig4(scale: Scale) -> str:
+    data = train_all(scale)
+    idx = np.linspace(
+        0, scale.train_iterations - 1, min(12, scale.train_iterations)
+    ).astype(int)
+    loss = {
+        name: [row["loss_curve"][i] for i in idx]
+        for name, row in data["variants"].items()
+    }
+    acc = {
+        name: [row["accuracy_curve"][i] for i in idx]
+        for name, row in data["variants"].items()
+    }
+    return "\n\n".join(
+        [
+            format_series("iter", idx.tolist(), loss,
+                          title="Figure 4(a): training loss"),
+            format_series("iter", idx.tolist(), acc,
+                          title="Figure 4(b): test accuracy"),
+        ]
+    )
+
+
+def _cmd_tab3(scale: Scale) -> str:
+    data = train_all(scale)
+    return format_table(
+        ["optimizer", "loss", "accuracy", "time (ms)"],
+        [
+            [n, f"{r['final_loss']:.2f}", f"{r['final_accuracy']:.1%}",
+             f"{r['training_time_ms']:.0f}"]
+            for n, r in data["variants"].items()
+        ],
+        title="Table III",
+    )
+
+
+def _cmd_tab2(scale: Scale) -> str:
+    rows = tab2_workloads()
+    return format_table(
+        ["workload", "write ratio (paper)", "write ratio (measured)", "#requests (paper)"],
+        [
+            [n, f"{r['paper_write_ratio']:.0%}", f"{r['measured_write_ratio']:.1%}",
+             f"{r['paper_request_count']:,}"]
+            for n, r in sorted(rows.items())
+        ],
+        title="Table II",
+    )
+
+
+def _cmd_fig5(scale: Scale) -> str:
+    data = fig5_performance(scale)
+    rows = []
+    for mix_name, entry in data["mixes"].items():
+        for tag, vals in entry["rows"].items():
+            rows.append([mix_name, tag, f"{vals['mean_write_us']:.0f}",
+                         f"{vals['mean_read_us']:.0f}",
+                         f"{vals['total_latency_s']:.3f}"])
+    return format_table(
+        ["mix", "allocation", "write us", "read us", "total (s)"],
+        rows,
+        title="Figure 5",
+    )
+
+
+def _cmd_tab5(scale: Scale) -> str:
+    data = tab5_allocations(scale)
+    return format_table(
+        ["mix", "features", "allocation"],
+        [[n, e["features"], e["strategy"]] for n, e in data.items()],
+        title="Table V",
+    )
+
+
+def _cmd_fig6(scale: Scale) -> str:
+    data = fig6_strategy_map(scale)
+    from collections import Counter
+
+    histogram = Counter(p["simplified"] for p in data["points"])
+    rows = [[name, count] for name, count in histogram.most_common()]
+    return format_table(
+        ["strategy (simplified)", "decisions"],
+        rows,
+        title=f"Figure 6: {len(data['points'])} decisions",
+    )
+
+
+def _cmd_quality(scale: Scale) -> str:
+    """Held-out regret evaluation of the deployed model."""
+    from ..core.evaluation import evaluate_learner, holdout_samples
+    from ..core.strategies import StrategySpace
+
+    cfg = labeler_config()
+    learner = trained_learner(scale)
+    samples = holdout_samples(cfg, StrategySpace(), max(30, scale.fig6_samples // 4))
+    return format_table(
+        ["metric", "value"],
+        evaluate_learner(learner, samples).rows(),
+        title=f"model quality on {len(samples)} held-out mixes",
+    )
+
+
+def _cmd_ablations(scale: Scale) -> str:
+    parts = [banner("ablations")]
+    hybrid = ablation_hybrid(scale)
+    parts.append(
+        f"hybrid vs all-static mean gain: "
+        f"{hybrid['hybrid_vs_static_mean_gain']:+.1%} (paper: +2.1%)"
+    )
+    fidelity = ablation_fastmodel(scale)
+    parts.append(
+        f"fast-model fidelity: spearman {fidelity['mean_spearman']:.3f}, "
+        f"winner agreement {fidelity['winner_agreement']:.0%}, "
+        f"cross regret {fidelity['mean_cross_regret']:.3f}"
+    )
+    widths = ablation_model_size(scale)
+    parts.append(format_table(
+        ["hidden", "accuracy"],
+        [[w, f"{r['final_accuracy']:.1%}"] for w, r in sorted(widths.items(), key=lambda kv: int(kv[0]))],
+        title="hidden-width ablation",
+    ))
+    feats = ablation_features(scale)
+    parts.append(format_table(
+        ["features", "accuracy"],
+        [[n, f"{r['final_accuracy']:.1%}"] for n, r in feats.items()],
+        title="feature-group ablation",
+    ))
+    sched = ablation_scheduling(scale)
+    parts.append(
+        f"read-priority scheduling: reads {sched['mean_read_speedup']:.2f}x "
+        f"faster, writes {sched['mean_write_slowdown']:.2f}x slower vs FIFO"
+    )
+    return "\n\n".join(parts)
+
+
+_COMMANDS: dict[str, Callable[[Scale], str]] = {
+    "info": _cmd_info,
+    "fig2": _cmd_fig2,
+    "fig4": _cmd_fig4,
+    "fig5": _cmd_fig5,
+    "fig6": _cmd_fig6,
+    "tab2": _cmd_tab2,
+    "tab3": _cmd_tab3,
+    "tab5": _cmd_tab5,
+    "quality": _cmd_quality,
+    "ablations": _cmd_ablations,
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Entry point of ``python -m repro``; returns a process exit code."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Regenerate SSDKeeper paper tables and figures.",
+    )
+    parser.add_argument(
+        "experiment",
+        choices=[*_COMMANDS, "all"],
+        help="which table/figure to regenerate ('all' runs everything)",
+    )
+    parser.add_argument(
+        "--scale",
+        default=None,
+        choices=["smoke", "default", "paper"],
+        help="experiment scale (default: $REPRO_SCALE or 'default')",
+    )
+    args = parser.parse_args(argv)
+    scale = Scale.from_name(args.scale) if args.scale else Scale.from_env("default")
+
+    names = list(_COMMANDS) if args.experiment == "all" else [args.experiment]
+    for name in names:
+        print(banner(name))
+        print(_COMMANDS[name](scale))
+        print()
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

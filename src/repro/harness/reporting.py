@@ -1,0 +1,84 @@
+"""Plain-text tables and series for experiment output.
+
+Benches regenerate the paper's tables and figures as text: aligned tables
+for Table-style results, labelled numeric series for figure-style results.
+Everything returns strings so tests can assert on content and benches can
+print.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+__all__ = ["format_table", "format_series", "normalize", "banner"]
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    *,
+    title: str | None = None,
+    float_format: str = "{:.3f}",
+) -> str:
+    """Render an aligned monospace table."""
+    def cell(value: object) -> str:
+        if isinstance(value, float):
+            return float_format.format(value)
+        return str(value)
+
+    str_rows = [[cell(v) for v in row] for row in rows]
+    for row in str_rows:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row width {len(row)} does not match {len(headers)} headers"
+            )
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for i, text in enumerate(row):
+            widths[i] = max(widths[i], len(text))
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in str_rows:
+        lines.append("  ".join(t.ljust(w) for t, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def format_series(
+    x_label: str,
+    x_values: Sequence[object],
+    series: dict[str, Sequence[float]],
+    *,
+    title: str | None = None,
+    float_format: str = "{:.3f}",
+) -> str:
+    """Render figure-style data: one x column plus one column per series."""
+    for name, values in series.items():
+        if len(values) != len(x_values):
+            raise ValueError(f"series {name!r} length mismatch")
+    headers = [x_label, *series.keys()]
+    rows = [
+        [x, *(values[i] for values in series.values())]
+        for i, x in enumerate(x_values)
+    ]
+    return format_table(headers, rows, title=title, float_format=float_format)
+
+
+def normalize(values: Sequence[float], reference: float | None = None) -> list[float]:
+    """Scale a series so the reference (default: first element) is 1.0."""
+    values = list(values)
+    if not values:
+        return []
+    ref = values[0] if reference is None else reference
+    if ref == 0:
+        raise ValueError("cannot normalise by zero")
+    return [v / ref for v in values]
+
+
+def banner(text: str, width: int = 72) -> str:
+    """Section separator used by bench output."""
+    pad = max(0, width - len(text) - 2)
+    left = pad // 2
+    return f"{'=' * left} {text} {'=' * (pad - left)}"

@@ -1,0 +1,59 @@
+"""Parameter-sweep runner.
+
+Experiments in this repository are embarrassingly parallel sweeps (strategy
+x write-proportion grids, dataset sample loops).  :func:`run_sweep` runs a
+function over a parameter list either serially or on a process pool —
+following the guides' advice, parallelism is an explicit, measured choice:
+on a single-core box (like CI) the serial path avoids pool overhead, while
+multi-core machines can fan out with ``processes=N``.
+
+The callable must be picklable (a module-level function) when a pool is
+used; results come back in submission order either way.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+from typing import Callable, Iterable, Sequence, TypeVar
+
+P = TypeVar("P")
+R = TypeVar("R")
+
+__all__ = ["run_sweep", "auto_processes"]
+
+
+def auto_processes(requested: int | None = None) -> int:
+    """Resolve a worker count: explicit > $REPRO_PROCESSES > cpu_count-capped.
+
+    Returns 1 (serial) when the machine has a single CPU — a pool would only
+    add pickling overhead there.
+    """
+    if requested is not None:
+        if requested < 1:
+            raise ValueError("processes must be >= 1")
+        return requested
+    env = os.environ.get("REPRO_PROCESSES")
+    if env:
+        return max(1, int(env))
+    return max(1, (os.cpu_count() or 1) - 0 if (os.cpu_count() or 1) == 1 else (os.cpu_count() or 2) - 1)
+
+
+def run_sweep(
+    fn: Callable[[P], R],
+    params: Sequence[P] | Iterable[P],
+    *,
+    processes: int | None = None,
+    chunksize: int = 1,
+) -> list[R]:
+    """Apply ``fn`` to every parameter, optionally on a process pool.
+
+    ``processes=None`` resolves via :func:`auto_processes`; ``processes=1``
+    forces the serial path (no pool, exceptions propagate directly).
+    """
+    params = list(params)
+    n_workers = auto_processes(processes)
+    if n_workers == 1 or len(params) <= 1:
+        return [fn(p) for p in params]
+    with multiprocessing.Pool(processes=min(n_workers, len(params))) as pool:
+        return pool.map(fn, params, chunksize=max(1, chunksize))

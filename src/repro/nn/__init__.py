@@ -1,0 +1,92 @@
+"""From-scratch neural-network substrate.
+
+A numpy-only MLP with the optimizers and activations the paper evaluates
+(SGD, SGD-momentum, Adam; ReLU and logistic), plus AdaGrad/RMSProp for the
+ablations.  Gradient correctness is enforced by finite-difference checks in
+``tests/nn/test_gradients.py``.
+"""
+
+from .activations import (
+    Activation,
+    Identity,
+    Logistic,
+    ReLU,
+    Tanh,
+    get_activation,
+    softmax,
+)
+from .losses import Loss, MeanSquaredError, SoftmaxCrossEntropy, get_loss
+from .layers import Dense
+from .network import MLP, paper_network
+from .optimizers import (
+    AdaGrad,
+    Adam,
+    Optimizer,
+    RMSProp,
+    SGD,
+    SGDMomentum,
+    get_optimizer,
+)
+from .metrics import (
+    ClassStats,
+    accuracy,
+    classification_report,
+    confusion_matrix,
+    per_class_stats,
+    top_k_accuracy,
+)
+from .preprocessing import StandardScaler, minibatches, one_hot, train_test_split
+from .schedules import (
+    ScheduledOptimizer,
+    constant,
+    cosine,
+    get_schedule,
+    step_decay,
+    warmup,
+)
+from .training import History, Trainer, train
+from . import serialization
+
+__all__ = [
+    "Activation",
+    "Identity",
+    "Logistic",
+    "ReLU",
+    "Tanh",
+    "get_activation",
+    "softmax",
+    "Loss",
+    "MeanSquaredError",
+    "SoftmaxCrossEntropy",
+    "get_loss",
+    "Dense",
+    "MLP",
+    "paper_network",
+    "AdaGrad",
+    "Adam",
+    "Optimizer",
+    "RMSProp",
+    "SGD",
+    "SGDMomentum",
+    "get_optimizer",
+    "ClassStats",
+    "accuracy",
+    "classification_report",
+    "confusion_matrix",
+    "per_class_stats",
+    "top_k_accuracy",
+    "StandardScaler",
+    "minibatches",
+    "one_hot",
+    "train_test_split",
+    "ScheduledOptimizer",
+    "constant",
+    "cosine",
+    "get_schedule",
+    "step_decay",
+    "warmup",
+    "History",
+    "Trainer",
+    "train",
+    "serialization",
+]

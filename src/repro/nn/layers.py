@@ -1,0 +1,83 @@
+"""Dense (fully-connected) layer with cached forward state.
+
+Weights follow the paper's notation: ``w[j, k]`` connects input ``k`` to
+neuron ``j`` of the layer (Equation 1's :math:`w^l_{jk}`), stored as a
+``(fan_out, fan_in)`` matrix; the forward pass computes ``x @ W.T + b``.
+
+Initialisation is He-uniform for ReLU layers and Glorot-uniform otherwise —
+the choice scikit-learn's MLP makes, which the paper's learner builds on.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .activations import Activation, ReLU, get_activation
+
+__all__ = ["Dense"]
+
+
+class Dense:
+    """One fully-connected layer: ``activation(x @ W.T + b)``."""
+
+    def __init__(
+        self,
+        fan_in: int,
+        fan_out: int,
+        activation: str | Activation = "identity",
+        *,
+        rng: np.random.Generator | None = None,
+    ) -> None:
+        if fan_in <= 0 or fan_out <= 0:
+            raise ValueError("fan_in and fan_out must be positive")
+        self.fan_in = fan_in
+        self.fan_out = fan_out
+        self.activation = get_activation(activation)
+        rng = rng or np.random.default_rng()
+        if isinstance(self.activation, ReLU):
+            bound = np.sqrt(6.0 / fan_in)  # He-uniform
+        else:
+            bound = np.sqrt(6.0 / (fan_in + fan_out))  # Glorot-uniform
+        self.weight = rng.uniform(-bound, bound, size=(fan_out, fan_in))
+        self.bias = np.zeros(fan_out)
+        # gradients (filled by backward)
+        self.grad_weight = np.zeros_like(self.weight)
+        self.grad_bias = np.zeros_like(self.bias)
+        # forward cache
+        self._input: np.ndarray | None = None
+        self._output: np.ndarray | None = None
+
+    # ------------------------------------------------------------------
+    def forward(self, x: np.ndarray, *, train: bool = False) -> np.ndarray:
+        """Batch forward; caches activations when ``train`` is set."""
+        x = np.atleast_2d(x)
+        if x.shape[1] != self.fan_in:
+            raise ValueError(f"expected {self.fan_in} inputs, got {x.shape[1]}")
+        out = self.activation.forward(x @ self.weight.T + self.bias)
+        if train:
+            self._input = x
+            self._output = out
+        return out
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        """Accumulate parameter grads; return gradient w.r.t. the input."""
+        if self._input is None or self._output is None:
+            raise RuntimeError("backward() before forward(train=True)")
+        grad_pre = self.activation.backward(grad_out, self._output)
+        self.grad_weight = grad_pre.T @ self._input
+        self.grad_bias = grad_pre.sum(axis=0)
+        return grad_pre @ self.weight
+
+    # ------------------------------------------------------------------
+    def parameters(self) -> list[np.ndarray]:
+        return [self.weight, self.bias]
+
+    def gradients(self) -> list[np.ndarray]:
+        return [self.grad_weight, self.grad_bias]
+
+    @property
+    def n_parameters(self) -> int:
+        return self.weight.size + self.bias.size
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Dense({self.fan_in}->{self.fan_out}, {self.activation.name})"

@@ -1,0 +1,182 @@
+"""Gradient-based optimizers.
+
+The paper's Algorithm 1 is the plain Equation-1 update (:class:`SGD`); the
+evaluation additionally explores SGD with momentum and Adam (Table III, with
+the paper's tuned hyper-parameters: SGD lr 0.2, momentum 0.9, Adam lr 0.02).
+AdaGrad and RMSProp — Adam's two ingredients the paper's background section
+describes — are implemented as well, for the optimizer ablation bench.
+
+Every optimizer exposes ``step(params, grads)`` where both lists align
+elementwise; state (velocities, moment estimates) is keyed by position so a
+given optimizer instance must always be stepped with the same parameter
+list.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["Optimizer", "SGD", "SGDMomentum", "AdaGrad", "RMSProp", "Adam", "get_optimizer"]
+
+
+class Optimizer:
+    """Base optimizer; subclasses implement :meth:`step`."""
+
+    name = "base"
+
+    def __init__(self, learning_rate: float) -> None:
+        if learning_rate <= 0:
+            raise ValueError("learning_rate must be positive")
+        self.learning_rate = learning_rate
+
+    def step(self, params: list[np.ndarray], grads: list[np.ndarray]) -> None:
+        raise NotImplementedError
+
+    def _check(self, params: list[np.ndarray], grads: list[np.ndarray]) -> None:
+        if len(params) != len(grads):
+            raise ValueError("params and grads must align")
+        for p, g in zip(params, grads):
+            if p.shape != g.shape:
+                raise ValueError(f"shape mismatch {p.shape} vs {g.shape}")
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}(lr={self.learning_rate})"
+
+
+class SGD(Optimizer):
+    """Equation 1: ``w := w - alpha * dC/dw``."""
+
+    name = "sgd"
+
+    def __init__(self, learning_rate: float = 0.2) -> None:
+        super().__init__(learning_rate)
+
+    def step(self, params: list[np.ndarray], grads: list[np.ndarray]) -> None:
+        self._check(params, grads)
+        for p, g in zip(params, grads):
+            p -= self.learning_rate * g
+
+
+class SGDMomentum(Optimizer):
+    """Heavy-ball momentum: ``v := mu*v - alpha*g; w += v``."""
+
+    name = "sgd-momentum"
+
+    def __init__(self, learning_rate: float = 0.2, momentum: float = 0.9) -> None:
+        super().__init__(learning_rate)
+        if not 0.0 <= momentum < 1.0:
+            raise ValueError("momentum must be in [0, 1)")
+        self.momentum = momentum
+        self._velocity: list[np.ndarray] | None = None
+
+    def step(self, params: list[np.ndarray], grads: list[np.ndarray]) -> None:
+        self._check(params, grads)
+        if self._velocity is None:
+            self._velocity = [np.zeros_like(p) for p in params]
+        for p, g, v in zip(params, grads, self._velocity):
+            v *= self.momentum
+            v -= self.learning_rate * g
+            p += v
+
+
+class AdaGrad(Optimizer):
+    """Per-parameter scaling by accumulated squared gradients."""
+
+    name = "adagrad"
+
+    def __init__(self, learning_rate: float = 0.05, eps: float = 1e-8) -> None:
+        super().__init__(learning_rate)
+        self.eps = eps
+        self._accum: list[np.ndarray] | None = None
+
+    def step(self, params: list[np.ndarray], grads: list[np.ndarray]) -> None:
+        self._check(params, grads)
+        if self._accum is None:
+            self._accum = [np.zeros_like(p) for p in params]
+        for p, g, a in zip(params, grads, self._accum):
+            a += g * g
+            p -= self.learning_rate * g / (np.sqrt(a) + self.eps)
+
+
+class RMSProp(Optimizer):
+    """Exponentially decayed squared-gradient scaling."""
+
+    name = "rmsprop"
+
+    def __init__(
+        self, learning_rate: float = 0.01, decay: float = 0.9, eps: float = 1e-8
+    ) -> None:
+        super().__init__(learning_rate)
+        if not 0.0 <= decay < 1.0:
+            raise ValueError("decay must be in [0, 1)")
+        self.decay = decay
+        self.eps = eps
+        self._accum: list[np.ndarray] | None = None
+
+    def step(self, params: list[np.ndarray], grads: list[np.ndarray]) -> None:
+        self._check(params, grads)
+        if self._accum is None:
+            self._accum = [np.zeros_like(p) for p in params]
+        for p, g, a in zip(params, grads, self._accum):
+            a *= self.decay
+            a += (1.0 - self.decay) * g * g
+            p -= self.learning_rate * g / (np.sqrt(a) + self.eps)
+
+
+class Adam(Optimizer):
+    """Adam (Kingma & Ba): AdaGrad's sparse-gradient behaviour plus
+    RMSProp's non-stationary behaviour, with bias-corrected moments."""
+
+    name = "adam"
+
+    def __init__(
+        self,
+        learning_rate: float = 0.02,
+        beta1: float = 0.9,
+        beta2: float = 0.999,
+        eps: float = 1e-8,
+    ) -> None:
+        super().__init__(learning_rate)
+        if not 0.0 <= beta1 < 1.0 or not 0.0 <= beta2 < 1.0:
+            raise ValueError("betas must be in [0, 1)")
+        self.beta1 = beta1
+        self.beta2 = beta2
+        self.eps = eps
+        self._m: list[np.ndarray] | None = None
+        self._v: list[np.ndarray] | None = None
+        self._t = 0
+
+    def step(self, params: list[np.ndarray], grads: list[np.ndarray]) -> None:
+        self._check(params, grads)
+        if self._m is None:
+            self._m = [np.zeros_like(p) for p in params]
+            self._v = [np.zeros_like(p) for p in params]
+        self._t += 1
+        b1c = 1.0 - self.beta1**self._t
+        b2c = 1.0 - self.beta2**self._t
+        assert self._v is not None
+        for p, g, m, v in zip(params, grads, self._m, self._v):
+            m *= self.beta1
+            m += (1.0 - self.beta1) * g
+            v *= self.beta2
+            v += (1.0 - self.beta2) * g * g
+            m_hat = m / b1c
+            v_hat = v / b2c
+            p -= self.learning_rate * m_hat / (np.sqrt(v_hat) + self.eps)
+
+
+_REGISTRY: dict[str, type[Optimizer]] = {
+    cls.name: cls for cls in (SGD, SGDMomentum, AdaGrad, RMSProp, Adam)
+}
+
+
+def get_optimizer(name: str | Optimizer, **kwargs) -> Optimizer:
+    """Resolve an optimizer by registry name."""
+    if isinstance(name, Optimizer):
+        return name
+    try:
+        return _REGISTRY[name.lower()](**kwargs)
+    except KeyError:
+        raise ValueError(
+            f"unknown optimizer {name!r}; known: {sorted(_REGISTRY)}"
+        ) from None

@@ -1,0 +1,114 @@
+"""Learning-rate schedules.
+
+The paper trains with fixed learning rates; schedules are part of the
+training-ablation surface (and genuinely help SGD close part of its gap to
+Adam on this problem).  A schedule maps an iteration index to a multiplier
+applied to the optimizer's base learning rate via
+:class:`ScheduledOptimizer`.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable
+
+from .optimizers import Optimizer
+
+__all__ = [
+    "constant",
+    "step_decay",
+    "cosine",
+    "warmup",
+    "ScheduledOptimizer",
+    "get_schedule",
+]
+
+#: A schedule maps iteration (0-based) -> learning-rate multiplier.
+Schedule = Callable[[int], float]
+
+
+def constant() -> Schedule:
+    """No decay (the paper's setting)."""
+    return lambda iteration: 1.0
+
+
+def step_decay(*, drop: float = 0.5, every: int = 50) -> Schedule:
+    """Multiply the rate by ``drop`` every ``every`` iterations."""
+    if not 0 < drop <= 1:
+        raise ValueError("drop must be in (0, 1]")
+    if every < 1:
+        raise ValueError("every must be >= 1")
+    return lambda iteration: drop ** (iteration // every)
+
+
+def cosine(*, total_iterations: int, floor: float = 0.0) -> Schedule:
+    """Cosine annealing from 1 to ``floor`` over ``total_iterations``."""
+    if total_iterations < 1:
+        raise ValueError("total_iterations must be >= 1")
+    if not 0 <= floor <= 1:
+        raise ValueError("floor must be in [0, 1]")
+
+    def schedule(iteration: int) -> float:
+        progress = min(1.0, iteration / total_iterations)
+        return floor + (1 - floor) * 0.5 * (1 + math.cos(math.pi * progress))
+
+    return schedule
+
+
+def warmup(base: Schedule, *, iterations: int = 10) -> Schedule:
+    """Linear ramp from 0 to the base schedule over ``iterations``."""
+    if iterations < 1:
+        raise ValueError("iterations must be >= 1")
+
+    def schedule(iteration: int) -> float:
+        ramp = min(1.0, (iteration + 1) / iterations)
+        return ramp * base(iteration)
+
+    return schedule
+
+
+_REGISTRY: dict[str, Callable[..., Schedule]] = {
+    "constant": constant,
+    "step": step_decay,
+    "cosine": cosine,
+}
+
+
+def get_schedule(name: str, **kwargs) -> Schedule:
+    """Build a schedule by registry name."""
+    try:
+        factory = _REGISTRY[name.lower()]
+    except KeyError:
+        raise ValueError(
+            f"unknown schedule {name!r}; known: {sorted(_REGISTRY)}"
+        ) from None
+    return factory(**kwargs)
+
+
+class ScheduledOptimizer(Optimizer):
+    """Wraps an optimizer, scaling its learning rate per iteration.
+
+    Call :meth:`advance` once per training iteration (epoch); every
+    ``step`` within the iteration uses the scheduled rate.
+    """
+
+    name = "scheduled"
+
+    def __init__(self, inner: Optimizer, schedule: Schedule) -> None:
+        super().__init__(inner.learning_rate)
+        self.inner = inner
+        self.schedule = schedule
+        self._base_rate = inner.learning_rate
+        self.iteration = 0
+
+    def advance(self) -> None:
+        """Move to the next iteration's learning rate."""
+        self.iteration += 1
+        self.inner.learning_rate = self._base_rate * self.schedule(self.iteration)
+
+    def step(self, params, grads) -> None:
+        self.inner.step(params, grads)
+
+    @property
+    def current_rate(self) -> float:
+        return self.inner.learning_rate

@@ -1,0 +1,69 @@
+"""Model parameter serialisation.
+
+The paper trains on the host and "sends the parameters to the FTL"
+(Section IV-C).  This module is that wire format: a compact JSON document
+holding the architecture, hidden activation, and every layer's weights and
+biases, round-trippable bit-for-bit at float64 precision via hex floats.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import numpy as np
+
+from .network import MLP
+
+__all__ = ["to_dict", "from_dict", "save", "load"]
+
+_FORMAT = "repro-mlp-v1"
+
+
+def to_dict(network: MLP) -> dict:
+    """Serialisable description of a network."""
+    return {
+        "format": _FORMAT,
+        "layer_sizes": network.layer_sizes,
+        "hidden_activation": network.hidden_activation,
+        "layers": [
+            {
+                "weight": [[v.hex() for v in row] for row in layer.weight.tolist()],
+                "bias": [v.hex() for v in layer.bias.tolist()],
+            }
+            for layer in network.layers
+        ],
+    }
+
+
+def from_dict(payload: dict) -> MLP:
+    """Rebuild a network from :func:`to_dict` output."""
+    if payload.get("format") != _FORMAT:
+        raise ValueError(f"unsupported model format {payload.get('format')!r}")
+    network = MLP(
+        payload["layer_sizes"],
+        hidden_activation=payload["hidden_activation"],
+    )
+    layers = payload["layers"]
+    if len(layers) != len(network.layers):
+        raise ValueError("layer count mismatch")
+    for layer, state in zip(network.layers, layers):
+        weight = np.array(
+            [[float.fromhex(v) for v in row] for row in state["weight"]]
+        )
+        bias = np.array([float.fromhex(v) for v in state["bias"]])
+        if weight.shape != layer.weight.shape or bias.shape != layer.bias.shape:
+            raise ValueError("parameter shape mismatch")
+        layer.weight = weight
+        layer.bias = bias
+    return network
+
+
+def save(network: MLP, path: str | Path) -> None:
+    """Write the network to a JSON file."""
+    Path(path).write_text(json.dumps(to_dict(network)), encoding="utf-8")
+
+
+def load(path: str | Path) -> MLP:
+    """Read a network back from :func:`save` output."""
+    return from_dict(json.loads(Path(path).read_text(encoding="utf-8")))

@@ -1,0 +1,49 @@
+"""Multi-channel SSD simulator substrate (SSDSim-style).
+
+Public surface:
+
+* :class:`SSDConfig` — device geometry and timing (Table I defaults);
+* :class:`SSDSimulator` / :func:`simulate` — exact event-driven simulation;
+* :class:`FastLatencyModel` / :func:`fast_simulate` — vectorised
+  approximation for bulk strategy sweeps;
+* :class:`IORequest` / :class:`OpType` — the trace record consumed by both;
+* :class:`SimulationResult` — latency summary both engines return;
+* :class:`PageAllocMode` — static vs dynamic page allocation per tenant.
+"""
+
+from .buffer import AccessResult, BufferConfig, BufferStats, WriteBuffer
+from .config import SSDConfig, KiB, MiB, GiB
+from .geometry import Geometry, PhysicalAddress
+from .request import IORequest, OpType, SubRequest
+from .timing import ServiceTimes
+from .metrics import LatencyAccumulator, OpStats, SimulationResult
+from .controller import FTLController
+from .simulator import SSDSimulator, simulate
+from .fastmodel import FastLatencyModel, fast_simulate
+from .ftl import PageAllocMode
+
+__all__ = [
+    "AccessResult",
+    "BufferConfig",
+    "BufferStats",
+    "WriteBuffer",
+    "SSDConfig",
+    "KiB",
+    "MiB",
+    "GiB",
+    "Geometry",
+    "PhysicalAddress",
+    "IORequest",
+    "OpType",
+    "SubRequest",
+    "ServiceTimes",
+    "LatencyAccumulator",
+    "OpStats",
+    "SimulationResult",
+    "FTLController",
+    "SSDSimulator",
+    "simulate",
+    "FastLatencyModel",
+    "fast_simulate",
+    "PageAllocMode",
+]

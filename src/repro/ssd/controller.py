@@ -1,0 +1,210 @@
+"""FTL controller: ties channel allocation, page placement, mapping and GC.
+
+The controller is the policy layer between host requests and the flash
+array.  It is configured with
+
+* ``channel_sets`` — workload id → list of channel indices that workload may
+  occupy (produced by a :mod:`repro.core.strategies` allocation, or "all
+  channels" for a traditional shared SSD);
+* ``page_modes`` — workload id → :class:`~repro.ssd.ftl.page_alloc.PageAllocMode`
+  (the hybrid page allocator of the paper assigns STATIC to read-dominated
+  and DYNAMIC to write-dominated tenants).
+
+Each tenant gets a private logical address space (``tenant_lpn_space`` pages)
+so tenants never alias each other's data — the multi-tenant setting of the
+paper, where a ``workloadID`` travels with every request.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+from .config import SSDConfig
+from .ftl.gc import GarbageCollector, GCWorkItem
+from .ftl.mapping import FlashArrayState, PlaneState
+from .ftl.page_alloc import (
+    LoadFn,
+    PageAllocMode,
+    StaticPagePlacer,
+    make_placer,
+)
+
+__all__ = ["FTLController"]
+
+
+def _idle_load(_plane_index: int) -> tuple:
+    """Load probe used when no simulator is attached (everything idle)."""
+    return (0,)
+
+
+class FTLController:
+    """Per-device FTL instance."""
+
+    def __init__(
+        self,
+        config: SSDConfig,
+        channel_sets: Mapping[int, Sequence[int]],
+        page_modes: Mapping[int, PageAllocMode] | None = None,
+        *,
+        load_fn: LoadFn | None = None,
+        tenant_lpn_space: int | None = None,
+    ) -> None:
+        if not channel_sets:
+            raise ValueError("channel_sets must name at least one workload")
+        self.config = config
+        self.state = FlashArrayState(config)
+        self.geometry = self.state.geometry
+        self.gc = GarbageCollector(self.state)
+        self.load_fn = load_fn or _idle_load
+        self.channel_sets = {wid: sorted(set(chs)) for wid, chs in channel_sets.items()}
+        for wid, chs in self.channel_sets.items():
+            if not chs:
+                raise ValueError(f"workload {wid} has an empty channel set")
+            for ch in chs:
+                if not 0 <= ch < config.channels:
+                    raise ValueError(f"workload {wid}: channel {ch} out of range")
+
+        n_tenants = len(self.channel_sets)
+        if tenant_lpn_space is None:
+            tenant_lpn_space = config.logical_pages // max(1, n_tenants)
+        self.tenant_lpn_space = tenant_lpn_space
+
+        modes = dict(page_modes or {})
+        self.page_modes = {
+            wid: modes.get(wid, PageAllocMode.STATIC) for wid in self.channel_sets
+        }
+        self._placers = {
+            wid: make_placer(self.page_modes[wid], self.geometry, chs, self._probe_load)
+            for wid, chs in self.channel_sets.items()
+        }
+        # Static placers used for pre-seeding reads of never-written data,
+        # regardless of the tenant's write mode: pre-existing data is assumed
+        # striped across the tenant's channels.
+        self._seed_placers = {
+            wid: StaticPagePlacer(self.geometry, chs)
+            for wid, chs in self.channel_sets.items()
+        }
+        #: pages pre-seeded on behalf of reads of cold data
+        self.seeded_pages = 0
+
+    # ------------------------------------------------------------------
+    def _probe_load(self, plane_index: int) -> tuple:
+        """Dynamic-placement load key: simulator load, then plane fullness."""
+        return (*self.load_fn(plane_index), -self.state.planes[plane_index].free_pages)
+
+    def global_lpn(self, workload_id: int, lpn: int) -> int:
+        """Namespace a tenant-relative LPN into the device-wide LPN space."""
+        if lpn >= self.tenant_lpn_space:
+            raise ValueError(
+                f"workload {workload_id} LPN {lpn} exceeds tenant space "
+                f"{self.tenant_lpn_space}"
+            )
+        return workload_id * self.tenant_lpn_space + lpn
+
+    # ------------------------------------------------------------------
+    def place_write(self, workload_id: int, lpn: int) -> tuple[int, list[GCWorkItem]]:
+        """Allocate a physical page for a write; run GC if needed.
+
+        Returns ``(ppn, gc_work)`` where ``gc_work`` carries the timing cost
+        of any blocks reclaimed as a consequence of this write.
+        """
+        placer = self._placers.get(workload_id)
+        if placer is None:
+            raise KeyError(f"unknown workload id {workload_id}")
+        glpn = self.global_lpn(workload_id, lpn)
+        plane_index = placer.place(lpn)
+        plane = self.state.planes[plane_index]
+        gc_items: list[GCWorkItem] = []
+        if not plane.has_free_page():
+            gc_items.extend(self.gc.collect(plane))
+            if not plane.has_free_page():
+                plane_index, plane = self._fallback_plane(workload_id, plane_index)
+        ppn = self.state.write(glpn, plane)
+        gc_items.extend(self.gc.maybe_collect(plane))
+        return ppn, gc_items
+
+    def resolve_read(self, workload_id: int, lpn: int) -> int:
+        """Physical location of a read; pre-seeds cold data at zero time cost.
+
+        Data never written inside the trace window is assumed to pre-exist on
+        flash, striped statically across the tenant's channels (so the
+        placement — which is all that matters for conflicts — is realistic),
+        but no programming time is charged.
+        """
+        if workload_id not in self.channel_sets:
+            raise KeyError(f"unknown workload id {workload_id}")
+        glpn = self.global_lpn(workload_id, lpn)
+        ppn = self.state.mapping.lookup(glpn)
+        if ppn is not None:
+            return ppn
+        plane_index = self._seed_placers[workload_id].place(lpn)
+        plane = self.state.planes[plane_index]
+        if not plane.has_free_page():
+            self.gc.collect(plane)
+            if not plane.has_free_page():
+                plane_index, plane = self._fallback_plane(workload_id, plane_index)
+        ppn = self.state.write(glpn, plane)
+        self.seeded_pages += 1
+        return ppn
+
+    def _fallback_plane(self, workload_id: int, avoid: int) -> tuple[int, PlaneState]:
+        """Any plane in the tenant's channel set with space (last resort)."""
+        for plane_index in self.geometry.planes_in_channels(self.channel_sets[workload_id]):
+            if plane_index == avoid:
+                continue
+            plane = self.state.planes[plane_index]
+            if plane.has_free_page():
+                return plane_index, plane
+            self.gc.collect(plane)
+            if plane.has_free_page():
+                return plane_index, plane
+        raise RuntimeError(
+            f"workload {workload_id}: no free pages in channels "
+            f"{self.channel_sets[workload_id]} — footprint exceeds capacity"
+        )
+
+    # ------------------------------------------------------------------
+    def reallocate(
+        self,
+        channel_sets: Mapping[int, Sequence[int]],
+        page_modes: Mapping[int, PageAllocMode] | None = None,
+    ) -> None:
+        """Apply a new channel allocation mid-run (Algorithm 2's switch).
+
+        Data already on flash stays where it is — reads keep resolving
+        through the mapping table — but new writes and newly-seeded cold
+        reads follow the new allocation.  The set of workload ids must not
+        change (tenant address spaces are sized at construction).
+        """
+        new_sets = {wid: sorted(set(chs)) for wid, chs in channel_sets.items()}
+        if set(new_sets) != set(self.channel_sets):
+            raise ValueError("reallocation must cover exactly the same workloads")
+        for wid, chs in new_sets.items():
+            if not chs:
+                raise ValueError(f"workload {wid} has an empty channel set")
+            for ch in chs:
+                if not 0 <= ch < self.config.channels:
+                    raise ValueError(f"workload {wid}: channel {ch} out of range")
+        self.channel_sets = new_sets
+        if page_modes is not None:
+            modes = dict(page_modes)
+            self.page_modes = {
+                wid: modes.get(wid, self.page_modes[wid]) for wid in new_sets
+            }
+        self._placers = {
+            wid: make_placer(self.page_modes[wid], self.geometry, chs, self._probe_load)
+            for wid, chs in new_sets.items()
+        }
+        self._seed_placers = {
+            wid: StaticPagePlacer(self.geometry, chs) for wid, chs in new_sets.items()
+        }
+
+    def mapped_pages(self) -> int:
+        return self.state.mapped_pages()
+
+    def describe(self) -> str:
+        parts = [
+            f"wid {wid}: ch{chs} {self.page_modes[wid].value}"
+            for wid, chs in sorted(self.channel_sets.items())
+        ]
+        return "; ".join(parts)

@@ -1,0 +1,121 @@
+"""Discrete-event simulation core.
+
+A deliberately small DES kernel: an event heap plus priority-queued
+:class:`Resource` objects.  Jobs acquire one resource at a time for a fixed
+duration; when a resource frees it grants the highest-priority waiter.
+
+Priorities are tuples ordered ascending; the simulator uses
+``(priority_class, enqueue_time, seq)`` so that reads (class 0) overtake
+garbage collection (class 1) and writes (class 2) that have not yet started —
+the paper's "read operations ... have priority to respond because of the
+lower flash chip accessing time".  A job already holding the resource is
+never preempted (flash commands are not interruptible).
+"""
+
+from __future__ import annotations
+
+import heapq
+from itertools import count
+from typing import Callable
+
+__all__ = ["EventLoop", "Resource", "PRIO_READ", "PRIO_GC", "PRIO_WRITE"]
+
+PRIO_READ = 0
+PRIO_GC = 1
+PRIO_WRITE = 2
+
+
+class EventLoop:
+    """Minimal event loop: schedule callbacks at absolute times."""
+
+    def __init__(self) -> None:
+        self._heap: list[tuple[float, int, Callable[[], None]]] = []
+        self._seq = count()
+        self.now = 0.0
+        self.events_processed = 0
+
+    def schedule(self, when: float, callback: Callable[[], None]) -> None:
+        """Run ``callback`` at absolute time ``when`` (>= now)."""
+        if when < self.now:
+            raise ValueError(f"cannot schedule in the past ({when} < {self.now})")
+        heapq.heappush(self._heap, (when, next(self._seq), callback))
+
+    def run(self, until: float | None = None) -> None:
+        """Process events until the heap drains (or ``until`` is reached)."""
+        while self._heap:
+            when, _, callback = self._heap[0]
+            if until is not None and when > until:
+                break
+            heapq.heappop(self._heap)
+            self.now = when
+            self.events_processed += 1
+            callback()
+
+    def __bool__(self) -> bool:
+        return bool(self._heap)
+
+
+class Resource:
+    """A serially-reusable resource with priority-ordered waiters.
+
+    ``acquire`` grants immediately when idle, otherwise parks the job in a
+    priority heap.  The holder calls nothing explicitly: the resource
+    schedules its own release after the requested duration and then grants
+    the next waiter.  ``on_grant`` callbacks receive the grant time.
+    """
+
+    __slots__ = ("loop", "name", "busy", "free_at", "_waiters", "_seq", "busy_time", "grants", "wait_time")
+
+    def __init__(self, loop: EventLoop, name: str = "") -> None:
+        self.loop = loop
+        self.name = name
+        self.busy = False
+        self.free_at = 0.0
+        self._waiters: list[tuple[tuple, int, float, float, Callable[[float], None]]] = []
+        self._seq = count()
+        # --- statistics ---
+        self.busy_time = 0.0
+        self.grants = 0
+        self.wait_time = 0.0
+
+    def acquire(self, priority: tuple, duration: float, on_grant: Callable[[float], None]) -> None:
+        """Request the resource for ``duration`` at ``priority`` (lower first).
+
+        ``on_grant(start_time)`` fires when the job begins service; the
+        resource auto-releases at ``start_time + duration``.
+        """
+        if duration < 0:
+            raise ValueError("duration must be non-negative")
+        if not self.busy:
+            self._grant(self.loop.now, duration, on_grant, enqueued=self.loop.now)
+        else:
+            heapq.heappush(
+                self._waiters,
+                (priority, next(self._seq), self.loop.now, duration, on_grant),
+            )
+
+    @property
+    def queue_depth(self) -> int:
+        """Number of jobs currently waiting (excludes the holder)."""
+        return len(self._waiters)
+
+    def _grant(self, start: float, duration: float, on_grant: Callable[[float], None], enqueued: float) -> None:
+        self.busy = True
+        self.free_at = start + duration
+        self.busy_time += duration
+        self.grants += 1
+        self.wait_time += start - enqueued
+        on_grant(start)
+        self.loop.schedule(self.free_at, self._release)
+
+    def _release(self) -> None:
+        self.busy = False
+        if self._waiters:
+            _, _, enqueued, duration, on_grant = heapq.heappop(self._waiters)
+            self._grant(self.loop.now, duration, on_grant, enqueued=enqueued)
+
+    def utilization(self, elapsed: float) -> float:
+        """Fraction of ``elapsed`` this resource spent busy."""
+        if elapsed <= 0:
+            return 0.0
+        return min(1.0, self.busy_time / elapsed)

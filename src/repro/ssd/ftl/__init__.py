@@ -1,0 +1,31 @@
+"""Flash translation layer: address mapping, page allocation, GC, wear.
+
+The FTL in this package is page-mapped and log-structured per plane: each
+plane has one active block whose pages are consumed in order; overwrites
+invalidate the old physical page; greedy garbage collection reclaims the
+block with the fewest valid pages when the plane's free-block pool drops
+below the configured threshold.
+"""
+
+from .mapping import MappingTable, PlaneState, FlashArrayState
+from .page_alloc import (
+    PageAllocMode,
+    StaticPagePlacer,
+    DynamicPagePlacer,
+    make_placer,
+)
+from .gc import GarbageCollector, GCWorkItem
+from .wear import WearTracker
+
+__all__ = [
+    "MappingTable",
+    "PlaneState",
+    "FlashArrayState",
+    "PageAllocMode",
+    "StaticPagePlacer",
+    "DynamicPagePlacer",
+    "make_placer",
+    "GarbageCollector",
+    "GCWorkItem",
+    "WearTracker",
+]

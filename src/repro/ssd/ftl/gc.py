@@ -1,0 +1,91 @@
+"""Greedy garbage collection.
+
+When a plane's free-block pool falls below the configured threshold, the
+collector repeatedly picks the sealed block with the fewest valid pages,
+copies its valid pages to the plane's active block (plane-internal copyback),
+erases it, and returns it to the free pool — until the restore level is
+reached or no victim would reclaim space.
+
+State mutation is immediate (so subsequent allocations see reclaimed space);
+the *timing* cost is returned as :class:`GCWorkItem` records that the
+simulator charges to the plane's die as internal jobs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .mapping import FlashArrayState, PlaneState
+
+__all__ = ["GCWorkItem", "GarbageCollector"]
+
+
+@dataclass(frozen=True)
+class GCWorkItem:
+    """Timing record of one reclaimed block: ``moves`` copybacks + 1 erase."""
+
+    plane_index: int
+    block: int
+    moves: int
+
+
+class GarbageCollector:
+    """Greedy (min-valid-pages) victim selection per plane."""
+
+    def __init__(self, state: FlashArrayState) -> None:
+        self.state = state
+        #: total blocks reclaimed
+        self.collections = 0
+        #: total valid pages copied (write amplification numerator)
+        self.pages_moved = 0
+
+    def pick_victim(self, plane: PlaneState) -> int | None:
+        """Sealed block with the fewest valid pages, or None if no candidate.
+
+        A victim that is still fully valid reclaims nothing (the copyback
+        consumes exactly as many pages as the erase frees), so it is not
+        eligible.
+        """
+        best_block: int | None = None
+        best_valid = plane.pages_per_block  # full block == not worth it
+        for block in plane.sealed_blocks():
+            valid = plane.valid_count[block]
+            if valid < best_valid:
+                best_valid = valid
+                best_block = block
+                if valid == 0:
+                    break
+        return best_block
+
+    def maybe_collect(self, plane: PlaneState) -> list[GCWorkItem]:
+        """Run GC on ``plane`` if below threshold; return timing work items."""
+        if not self.state.needs_gc(plane):
+            return []
+        return self.collect(plane)
+
+    def collect(self, plane: PlaneState) -> list[GCWorkItem]:
+        """Reclaim blocks until the restore level (or no progress)."""
+        items: list[GCWorkItem] = []
+        while plane.free_blocks < self.state.gc_restore_blocks:
+            victim = self.pick_victim(plane)
+            if victim is None:
+                break
+            items.append(self._reclaim(plane, victim))
+        return items
+
+    def _reclaim(self, plane: PlaneState, victim: int) -> GCWorkItem:
+        mapping = self.state.mapping
+        moves = 0
+        for ppn in plane.pages_in_block(victim):
+            lpn = mapping.reverse(ppn)
+            if lpn is None:
+                continue
+            mapping.unbind_ppn(ppn)
+            plane.invalidate(ppn)
+            new_ppn = plane.allocate_page()
+            mapping.bind(lpn, new_ppn)
+            moves += 1
+        plane.erase_block(victim)
+        self.collections += 1
+        self.pages_moved += moves
+        return GCWorkItem(plane.plane_index, victim, moves)

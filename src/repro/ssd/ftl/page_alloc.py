@@ -1,0 +1,140 @@
+"""Static and dynamic page-allocation placers.
+
+A *placer* answers one question for each write: **which plane** receives the
+page, given the tenant's allowed channel set.
+
+``STATIC``
+    The target channel/chip/die/plane is a pure function of the logical page
+    number, striping successive LPNs channel-first across the allowed set.
+    Consecutive logical pages land on different channels, so a later
+    sequential *read* of those pages enjoys full channel parallelism —
+    exactly why the paper assigns static mode to read-dominated tenants.
+
+``DYNAMIC``
+    The write goes to the least-busy plane of the allowed set at the moment
+    of dispatch (earliest-free die, shortest queue), so writes never wait for
+    a busy die while an idle one exists — why the paper assigns dynamic mode
+    to write-dominated tenants.
+
+Reads are never placed: they go wherever the mapping table says the data
+lives.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Callable, Sequence
+
+from ..geometry import Geometry
+
+__all__ = ["PageAllocMode", "StaticPagePlacer", "DynamicPagePlacer", "make_placer"]
+
+#: Load probe: plane_index -> sortable load key (lower = less busy).
+LoadFn = Callable[[int], tuple]
+
+
+class PageAllocMode(enum.Enum):
+    """Per-tenant page-allocation mode."""
+
+    STATIC = "static"
+    DYNAMIC = "dynamic"
+
+    @classmethod
+    def from_str(cls, text: str) -> "PageAllocMode":
+        try:
+            return cls(text.strip().lower())
+        except ValueError:
+            raise ValueError(f"unknown page allocation mode {text!r}") from None
+
+
+class StaticPagePlacer:
+    """LPN-striped placement over an allowed channel set."""
+
+    def __init__(self, geometry: Geometry, allowed_channels: Sequence[int]) -> None:
+        if not allowed_channels:
+            raise ValueError("allowed_channels must be non-empty")
+        self.geometry = geometry
+        self.channels = sorted(set(allowed_channels))
+        cfg = geometry.config
+        self._chips = cfg.chips_per_channel
+        self._dies = cfg.dies_per_chip
+        self._planes = cfg.planes_per_die
+        self._planes_per_channel = self._chips * self._dies * self._planes
+
+    def place(self, lpn: int) -> int:
+        """Flat plane index for ``lpn`` (channel-first striping)."""
+        n = len(self.channels)
+        channel = self.channels[lpn % n]
+        rest = lpn // n
+        chip = rest % self._chips
+        rest //= self._chips
+        die = rest % self._dies
+        rest //= self._dies
+        plane = rest % self._planes
+        return (
+            channel * self._planes_per_channel
+            + chip * self._dies * self._planes
+            + die * self._planes
+            + plane
+        )
+
+
+class DynamicPagePlacer:
+    """Least-busy placement over an allowed channel set.
+
+    ``load_fn`` maps a flat plane index to a sortable load key; the placer
+    picks the minimum and breaks ties round-robin so that an idle device
+    still spreads writes across every plane.
+    """
+
+    def __init__(
+        self,
+        geometry: Geometry,
+        allowed_channels: Sequence[int],
+        load_fn: LoadFn,
+    ) -> None:
+        if not allowed_channels:
+            raise ValueError("allowed_channels must be non-empty")
+        self.geometry = geometry
+        self.channels = sorted(set(allowed_channels))
+        # Candidates interleaved channel-first: consecutive tie-broken picks
+        # land on *different channels*, so equal-load writes spread across
+        # buses instead of serialising on one channel's planes.
+        per_channel = [geometry.planes_in_channels([ch]) for ch in self.channels]
+        self.candidates = [
+            planes[k]
+            for k in range(len(per_channel[0]))
+            for planes in per_channel
+        ]
+        self.load_fn = load_fn
+        self._rr = 0
+
+    def place(self, lpn: int) -> int:
+        """Flat plane index of the least-busy candidate plane."""
+        n = len(self.candidates)
+        best_index = -1
+        best_key: tuple | None = None
+        # Rotate the scan start so equal-load candidates alternate.
+        start = self._rr
+        for offset in range(n):
+            i = (start + offset) % n
+            key = self.load_fn(self.candidates[i])
+            if best_key is None or key < best_key:
+                best_key = key
+                best_index = i
+        self._rr = (best_index + 1) % n
+        return self.candidates[best_index]
+
+
+def make_placer(
+    mode: PageAllocMode,
+    geometry: Geometry,
+    allowed_channels: Sequence[int],
+    load_fn: LoadFn,
+) -> StaticPagePlacer | DynamicPagePlacer:
+    """Build the placer for one tenant."""
+    if mode is PageAllocMode.STATIC:
+        return StaticPagePlacer(geometry, allowed_channels)
+    if mode is PageAllocMode.DYNAMIC:
+        return DynamicPagePlacer(geometry, allowed_channels, load_fn)
+    raise ValueError(f"unknown mode {mode!r}")

@@ -1,0 +1,64 @@
+"""Wear-levelling statistics.
+
+The FTL's log-structured append with round-robin free-block reuse is
+naturally wear-friendly; this module measures how even the erases actually
+are rather than enforcing a policy.  The headline metric is the classic
+*wear-levelling factor*: mean erase count divided by max erase count
+(1.0 = perfectly even, near 0 = one block is being hammered).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .mapping import FlashArrayState
+
+__all__ = ["WearStats", "WearTracker"]
+
+
+@dataclass(frozen=True)
+class WearStats:
+    """Summary of erase-count distribution across all blocks."""
+
+    total_erases: int
+    max_erases: int
+    min_erases: int
+    mean_erases: float
+    wear_levelling_factor: float
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"erases total={self.total_erases} max={self.max_erases} "
+            f"min={self.min_erases} mean={self.mean_erases:.2f} "
+            f"WLF={self.wear_levelling_factor:.3f}"
+        )
+
+
+class WearTracker:
+    """Read-only view over the erase counters kept by each plane."""
+
+    def __init__(self, state: FlashArrayState) -> None:
+        self.state = state
+
+    def stats(self) -> WearStats:
+        total = 0
+        max_e = 0
+        min_e: int | None = None
+        blocks = 0
+        for plane in self.state.planes:
+            for count in plane.erase_count:
+                total += count
+                blocks += 1
+                if count > max_e:
+                    max_e = count
+                if min_e is None or count < min_e:
+                    min_e = count
+        mean = total / blocks if blocks else 0.0
+        wlf = (mean / max_e) if max_e else 1.0
+        return WearStats(
+            total_erases=total,
+            max_erases=max_e,
+            min_erases=min_e or 0,
+            mean_erases=mean,
+            wear_levelling_factor=wlf,
+        )

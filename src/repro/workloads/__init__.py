@@ -1,0 +1,44 @@
+"""Workload substrate: specs, synthetic generation, MSR stand-ins, mixing.
+
+Typical flow::
+
+    from repro.workloads import msr, synthesize_mix
+
+    specs = [msr.spec(n, rate_scale=2e4) for n in
+             ("mds_0", "mds_1", "rsrch_0", "prxy_0")]
+    mixed = synthesize_mix(specs, total_requests=10_000, seed=1)
+"""
+
+from .spec import WorkloadSpec
+from .synthetic import generate, generate_arrays
+from .mixer import MixedWorkload, mix, synthesize_mix
+from .stats import TraceStats, analyze, per_workload
+from .transform import (
+    clone,
+    remap_workloads,
+    rescale_time,
+    rescale_to_rate,
+    shift_time,
+    slice_window,
+)
+from . import msr, traces
+
+__all__ = [
+    "WorkloadSpec",
+    "generate",
+    "generate_arrays",
+    "MixedWorkload",
+    "mix",
+    "synthesize_mix",
+    "TraceStats",
+    "analyze",
+    "per_workload",
+    "clone",
+    "remap_workloads",
+    "rescale_time",
+    "rescale_to_rate",
+    "shift_time",
+    "slice_window",
+    "msr",
+    "traces",
+]

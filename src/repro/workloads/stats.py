@@ -1,0 +1,99 @@
+"""Trace analysis: measure the statistics a spec promises.
+
+Given any request list, :func:`analyze` reports the realised arrival rate,
+read/write mix, request-size distribution, sequentiality, address footprint
+and burstiness — the quantities the features collector and the synthetic
+generator trade in.  Used by the examples, by Table-II fidelity checks, and
+for validating external trace files before feeding them to the simulator.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from ..ssd.request import IORequest
+
+__all__ = ["TraceStats", "analyze", "per_workload"]
+
+
+@dataclass(frozen=True)
+class TraceStats:
+    """Realised statistics of one request stream."""
+
+    requests: int
+    pages: int
+    duration_us: float
+    rate_rps: float
+    write_ratio: float
+    mean_request_pages: float
+    max_request_pages: int
+    footprint_pages: int
+    sequential_fraction: float
+    #: coefficient of variation of inter-arrival gaps (1 = Poisson)
+    arrival_cv: float
+    #: share of accesses landing on the hottest decile of touched pages
+    top_decile_share: float
+
+    def describe(self) -> str:
+        return (
+            f"{self.requests} reqs ({self.pages} pages) over "
+            f"{self.duration_us / 1e3:.1f} ms = {self.rate_rps:,.0f} req/s; "
+            f"{self.write_ratio:.0%} writes, mean {self.mean_request_pages:.2f} "
+            f"pages (max {self.max_request_pages}), footprint "
+            f"{self.footprint_pages} pages, {self.sequential_fraction:.0%} "
+            f"sequential, arrival CV {self.arrival_cv:.2f}, hot-decile share "
+            f"{self.top_decile_share:.0%}"
+        )
+
+
+def analyze(requests: Sequence[IORequest]) -> TraceStats:
+    """Measure a request stream (must be non-empty and arrival-sorted-ish)."""
+    if not requests:
+        raise ValueError("cannot analyze an empty trace")
+    ordered = sorted(requests, key=lambda r: r.arrival_us)
+    arrivals = np.array([r.arrival_us for r in ordered])
+    lengths = np.array([r.length for r in ordered])
+    writes = sum(1 for r in ordered if not r.is_read)
+
+    duration = float(arrivals[-1] - arrivals[0])
+    gaps = np.diff(arrivals)
+    positive = gaps[gaps > 0]
+    cv = float(positive.std() / positive.mean()) if positive.size > 1 else 0.0
+
+    sequential = sum(
+        1
+        for a, b in zip(ordered, ordered[1:])
+        if b.workload_id == a.workload_id and b.lpn == a.lpn + a.length
+    )
+
+    # Footprint and skew over touched first-pages (cheap proxy for pages).
+    touched = np.array([r.lpn for r in ordered])
+    unique, counts = np.unique(touched, return_counts=True)
+    counts_sorted = np.sort(counts)
+    decile = max(1, len(unique) // 10)
+    top_share = float(counts_sorted[-decile:].sum() / counts_sorted.sum())
+
+    return TraceStats(
+        requests=len(ordered),
+        pages=int(lengths.sum()),
+        duration_us=duration,
+        rate_rps=float(len(ordered) / duration * 1e6) if duration > 0 else 0.0,
+        write_ratio=writes / len(ordered),
+        mean_request_pages=float(lengths.mean()),
+        max_request_pages=int(lengths.max()),
+        footprint_pages=int(unique.size),
+        sequential_fraction=sequential / max(1, len(ordered) - 1),
+        arrival_cv=cv,
+        top_decile_share=top_share,
+    )
+
+
+def per_workload(requests: Sequence[IORequest]) -> dict[int, TraceStats]:
+    """Split a mixed trace by workload id and analyze each tenant."""
+    buckets: dict[int, list[IORequest]] = {}
+    for r in requests:
+        buckets.setdefault(r.workload_id, []).append(r)
+    return {wid: analyze(reqs) for wid, reqs in sorted(buckets.items())}

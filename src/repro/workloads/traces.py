@@ -1,0 +1,82 @@
+"""Trace file I/O.
+
+A trace file is a plain-text, one-record-per-line format close to the MSR
+Cambridge CSV layout consumed by SSDSim-family simulators::
+
+    # repro-trace v1
+    arrival_us,workload_id,op,lpn,length
+    0.000,0,R,1024,4
+    13.520,1,W,77,1
+
+Comments (``#``) and blank lines are ignored.  Round-tripping preserves all
+request fields (arrival times to microsecond precision by default).
+"""
+
+from __future__ import annotations
+
+import io
+from pathlib import Path
+from typing import Iterable, Iterator, TextIO
+
+from ..ssd.request import IORequest, OpType
+
+__all__ = ["dump", "dumps", "load", "loads", "iter_records"]
+
+_HEADER = "# repro-trace v1"
+_COLUMNS = "arrival_us,workload_id,op,lpn,length"
+
+
+def dump(requests: Iterable[IORequest], path: str | Path, *, precision: int = 3) -> None:
+    """Write requests to ``path`` in trace format."""
+    with open(path, "w", encoding="utf-8") as fh:
+        _write(requests, fh, precision)
+
+
+def dumps(requests: Iterable[IORequest], *, precision: int = 3) -> str:
+    """Serialise requests to a trace-format string."""
+    buf = io.StringIO()
+    _write(requests, buf, precision)
+    return buf.getvalue()
+
+
+def _write(requests: Iterable[IORequest], fh: TextIO, precision: int) -> None:
+    fh.write(_HEADER + "\n")
+    fh.write(_COLUMNS + "\n")
+    for r in requests:
+        fh.write(
+            f"{r.arrival_us:.{precision}f},{r.workload_id},{r.op},{r.lpn},{r.length}\n"
+        )
+
+
+def load(path: str | Path) -> list[IORequest]:
+    """Read a trace file back into request objects."""
+    with open(path, "r", encoding="utf-8") as fh:
+        return list(iter_records(fh))
+
+
+def loads(text: str) -> list[IORequest]:
+    """Parse a trace-format string."""
+    return list(iter_records(io.StringIO(text)))
+
+
+def iter_records(fh: TextIO) -> Iterator[IORequest]:
+    """Stream-parse trace records from an open text file."""
+    for lineno, raw in enumerate(fh, start=1):
+        line = raw.strip()
+        if not line or line.startswith("#"):
+            continue
+        if line == _COLUMNS:
+            continue
+        parts = line.split(",")
+        if len(parts) != 5:
+            raise ValueError(f"line {lineno}: expected 5 fields, got {len(parts)}")
+        try:
+            yield IORequest(
+                arrival_us=float(parts[0]),
+                workload_id=int(parts[1]),
+                op=OpType.from_str(parts[2]),
+                lpn=int(parts[3]),
+                length=int(parts[4]),
+            )
+        except ValueError as exc:
+            raise ValueError(f"line {lineno}: {exc}") from exc

@@ -1,0 +1,48 @@
+"""Shared fixtures and hypothesis settings."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, settings
+
+from repro.ssd import SSDConfig
+
+# Keep property tests fast on the single-core CI box.
+settings.register_profile(
+    "repro",
+    max_examples=50,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+settings.load_profile("repro")
+
+
+@pytest.fixture
+def paper_config() -> SSDConfig:
+    """The exact Table-I device."""
+    return SSDConfig.paper()
+
+
+@pytest.fixture
+def small_config() -> SSDConfig:
+    """Paper topology with fewer blocks (fast sweeps)."""
+    return SSDConfig.small()
+
+
+@pytest.fixture
+def tiny_config() -> SSDConfig:
+    """Very small planes so GC triggers with short traces."""
+    return SSDConfig(
+        channels=8,
+        chips_per_channel=2,
+        dies_per_chip=1,
+        planes_per_die=2,
+        blocks_per_plane=8,
+        pages_per_block=8,
+    )
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(12345)

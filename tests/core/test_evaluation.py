@@ -1,0 +1,121 @@
+"""Learner quality evaluation (regret-based)."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    Dataset,
+    LabeledSample,
+    FeatureVector,
+    LabelerConfig,
+    QualityReport,
+    StrategyLearner,
+    StrategySpace,
+    evaluate_learner,
+    holdout_samples,
+)
+from repro.ssd import SSDConfig
+
+
+def synthetic_samples(space, rng, n=60):
+    """Hand-built samples where strategy 0 is optimal iff level < 10."""
+    samples = []
+    for _ in range(n):
+        level = int(rng.integers(0, 20))
+        fv = FeatureVector(
+            level,
+            tuple(int(rng.integers(0, 2)) for _ in range(4)),
+            tuple(rng.dirichlet(np.ones(4))),
+        )
+        totals = np.full(len(space), 200.0)
+        best = 0 if level < 10 else 1
+        totals[best] = 100.0
+        totals[2] = 104.0  # a near-tie within 5%
+        samples.append(
+            LabeledSample(
+                features=fv, label=best, total_latencies_us=totals.tolist()
+            )
+        )
+    return samples
+
+
+@pytest.fixture
+def space():
+    return StrategySpace(8, 4)
+
+
+@pytest.fixture
+def trained(space, rng):
+    samples = synthetic_samples(space, rng, n=200)
+    ds = Dataset(
+        features=np.vstack([s.features.to_array() for s in samples]),
+        labels=np.array([s.label for s in samples]),
+        n_classes=len(space),
+    )
+    learner = StrategyLearner(space, seed=0)
+    learner.train(ds, iterations=80, seed=0)
+    return learner, samples
+
+
+class TestEvaluateLearner:
+    def test_report_fields_consistent(self, trained):
+        learner, samples = trained
+        report = evaluate_learner(learner, samples)
+        assert isinstance(report, QualityReport)
+        assert report.n_samples == len(samples)
+        assert 0 <= report.top1_accuracy <= report.top3_accuracy <= report.top5_accuracy <= 1
+        assert 1.0 <= report.median_regret <= report.mean_regret or report.mean_regret >= 1.0
+        assert report.worst_regret >= report.p95_regret >= report.median_regret
+        assert report.within_5pct >= 0
+        assert report.within_10pct >= report.within_5pct
+
+    def test_good_learner_has_low_regret(self, trained):
+        learner, samples = trained
+        report = evaluate_learner(learner, samples)
+        assert report.top1_accuracy > 0.8
+        assert report.mean_regret < 1.3
+
+    def test_rows_render(self, trained):
+        learner, samples = trained
+        rows = evaluate_learner(learner, samples).rows()
+        assert any("top-3" in r[0] for r in rows)
+
+    def test_empty_samples_rejected(self, trained):
+        learner, _ = trained
+        with pytest.raises(ValueError):
+            evaluate_learner(learner, [])
+
+    def test_perfect_oracle_regret_is_one(self, space, rng):
+        """If predictions always match labels, regret == 1 everywhere."""
+        samples = synthetic_samples(space, rng, n=50)
+        # Build a learner that memorises by training on the same samples hard.
+        ds = Dataset(
+            features=np.vstack([s.features.to_array() for s in samples]),
+            labels=np.array([s.label for s in samples]),
+            n_classes=len(space),
+        )
+        learner = StrategyLearner(space, seed=1)
+        learner.train(ds, iterations=200, train_fraction=0.95, seed=1)
+        report = evaluate_learner(learner, samples)
+        if report.top1_accuracy == 1.0:
+            assert report.mean_regret == pytest.approx(1.0)
+
+
+class TestHoldout:
+    def test_generates_fresh_labelled_samples(self):
+        cfg = LabelerConfig(
+            ssd=SSDConfig.small(),
+            window_requests_max=300,
+            window_s=0.02,
+            replications=1,
+        )
+        space = StrategySpace()
+        samples = holdout_samples(cfg, space, 3, seed=5)
+        assert len(samples) == 3
+        for s in samples:
+            assert len(s.total_latencies_us) == len(space)
+
+    def test_validation(self):
+        cfg = LabelerConfig()
+        with pytest.raises(ValueError):
+            holdout_samples(cfg, StrategySpace(), 0)

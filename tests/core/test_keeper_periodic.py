@@ -1,0 +1,96 @@
+"""Periodic (multi-window) adaptation — the extension beyond Algorithm 2."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    ChannelAllocator,
+    Dataset,
+    FeatureVector,
+    SSDKeeper,
+    StrategyLearner,
+    StrategySpace,
+)
+from repro.ssd import SSDConfig
+from repro.workloads import WorkloadSpec, synthesize_mix
+
+
+def make_allocator(seed=0):
+    """Learner trained so write-heavy windows pick 7:1 and read-heavy 1:7."""
+    rng = np.random.default_rng(seed)
+    space = StrategySpace(8, 4)
+    rows, labels = [], []
+    for _ in range(160):
+        fv = FeatureVector(
+            int(rng.integers(0, 20)),
+            tuple(int(rng.integers(0, 2)) for _ in range(4)),
+            tuple(rng.dirichlet(np.ones(4))),
+        )
+        rows.append(fv.to_array())
+        labels.append(
+            space.index_of(space.by_label("7:1"))
+            if fv.total_write_proportion() > 0.5
+            else space.index_of(space.by_label("1:7"))
+        )
+    ds = Dataset(features=np.vstack(rows), labels=np.array(labels), n_classes=42)
+    learner = StrategyLearner(space, seed=0)
+    learner.train(ds, iterations=80, seed=0)
+    return ChannelAllocator(learner)
+
+
+def phased_trace(cfg, per_phase=700):
+    """Read-heavy first 50 ms, write-heavy afterwards."""
+    read_specs = [
+        WorkloadSpec(name=f"r{i}", write_ratio=0.0 if i else 1.0,
+                     rate_rps=10_000 if i else 2_000, footprint_pages=4096)
+        for i in range(4)
+    ]
+    write_specs = [
+        WorkloadSpec(name=f"w{i}", write_ratio=1.0 if i else 0.0,
+                     rate_rps=10_000 if i else 2_000, footprint_pages=4096)
+        for i in range(4)
+    ]
+    phase1 = synthesize_mix(read_specs, total_requests=per_phase, seed=1)
+    phase2 = synthesize_mix(write_specs, total_requests=per_phase, seed=2)
+    offset = 60_000.0
+    for r in phase2.requests:
+        r.arrival_us += offset
+    return phase1.requests + phase2.requests
+
+
+class TestPeriodicAdaptation:
+    @pytest.fixture(scope="class")
+    def run(self):
+        cfg = SSDConfig.small()
+        keeper = SSDKeeper(
+            make_allocator(),
+            cfg,
+            collect_window_us=25_000.0,
+            intensity_quantum=50.0,
+        )
+        return keeper.run_periodic(phased_trace(cfg))
+
+    def test_multiple_decisions(self, run):
+        assert run.switches >= 2
+
+    def test_adapts_to_the_phase_change(self, run):
+        strategies = run.distinct_strategies()
+        assert "1:7" in strategies and "7:1" in strategies
+        # Read-heavy phase first: the first decision is the read-favouring one.
+        assert run.decisions[0][2].label == "1:7"
+        assert run.decisions[-1][2].label == "7:1"
+
+    def test_all_requests_complete(self, run):
+        assert run.result.requests == 1400
+
+    def test_decision_times_are_window_aligned(self, run):
+        for t, _, _ in run.decisions:
+            assert t % 25_000.0 == pytest.approx(0.0, abs=1e-6)
+
+    def test_empty_trace_rejected(self):
+        cfg = SSDConfig.small()
+        keeper = SSDKeeper(
+            make_allocator(), cfg, collect_window_us=1000.0, intensity_quantum=1.0
+        )
+        with pytest.raises(ValueError):
+            keeper.run_periodic([])

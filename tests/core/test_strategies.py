@@ -1,0 +1,177 @@
+"""Channel-allocation strategy space: counts, labels, channel sets."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core import Strategy, StrategyKind, StrategySpace, compositions, enumerate_strategies
+
+
+class TestPaperCounts:
+    def test_two_tenants_eight_strategies(self):
+        """Section IV-C: 8 strategies for two tenants on 8 channels."""
+        space = enumerate_strategies(8, 2)
+        assert len(space) == 8
+        labels = [s.label for s in space]
+        assert labels == ["Shared", "Isolated", "7:1", "6:2", "5:3", "3:5", "2:6", "1:7"]
+
+    def test_four_tenants_forty_two_strategies(self):
+        """Section IV-C: 42 strategies for four tenants (8 + 34 extra)."""
+        space = enumerate_strategies(8, 4)
+        assert len(space) == 42
+        labels = [s.label for s in space]
+        assert labels[:8] == [
+            "Shared", "Isolated", "7:1", "6:2", "5:3", "3:5", "2:6", "1:7",
+        ]
+        # The additional 34 are four-part compositions, 5:1:1:1 first.
+        assert labels[8] == "5:1:1:1"
+        assert "2:2:2:2" not in labels  # Isolated covers the equal split
+        four_part = [s for s in space if s.kind is StrategyKind.PER_TENANT]
+        assert len(four_part) == 34
+
+    def test_compositions_count(self):
+        assert len(compositions(8, 2)) == 7
+        assert len(compositions(8, 4)) == 35  # C(7,3)
+
+    @given(total=st.integers(2, 12), parts=st.integers(1, 4))
+    def test_compositions_sum_and_positivity(self, total, parts):
+        if parts > total:
+            return
+        for combo in compositions(total, parts):
+            assert sum(combo) == total
+            assert all(p >= 1 for p in combo)
+
+    def test_compositions_are_unique(self):
+        combos = compositions(8, 4)
+        assert len(set(combos)) == len(combos)
+
+
+class TestStrategyValidation:
+    def test_shared_takes_no_parts(self):
+        with pytest.raises(ValueError):
+            Strategy(StrategyKind.SHARED, (4, 4))
+
+    def test_two_part_needs_two(self):
+        with pytest.raises(ValueError):
+            Strategy(StrategyKind.TWO_PART, (8,))
+
+    def test_parts_must_be_positive(self):
+        with pytest.raises(ValueError):
+            Strategy(StrategyKind.PER_TENANT, (8, 0, 0, 0))
+
+    def test_labels(self):
+        assert Strategy(StrategyKind.SHARED).label == "Shared"
+        assert Strategy(StrategyKind.ISOLATED).label == "Isolated"
+        assert Strategy(StrategyKind.TWO_PART, (7, 1)).label == "7:1"
+        assert Strategy(StrategyKind.PER_TENANT, (4, 2, 1, 1)).label == "4:2:1:1"
+
+    def test_simplified_label_collapses_permutations(self):
+        """Figure 6's grouping rule."""
+        for parts in [(5, 1, 1, 1), (1, 5, 1, 1), (1, 1, 5, 1), (1, 1, 1, 5)]:
+            assert Strategy(StrategyKind.PER_TENANT, parts).simplified_label() == "5:1:1:1"
+        assert Strategy(StrategyKind.TWO_PART, (1, 7)).simplified_label() == "1:7"
+
+
+class TestChannelSets:
+    def test_shared_gives_everyone_everything(self):
+        sets = Strategy(StrategyKind.SHARED).channel_sets(8, [True, False, True, False])
+        assert all(sets[w] == list(range(8)) for w in range(4))
+
+    def test_isolated_equal_split(self):
+        sets = Strategy(StrategyKind.ISOLATED).channel_sets(8, [True] * 4)
+        assert [len(sets[w]) for w in range(4)] == [2, 2, 2, 2]
+        combined = sorted(ch for chans in sets.values() for ch in chans)
+        assert combined == list(range(8))
+
+    def test_isolated_two_tenants(self):
+        sets = Strategy(StrategyKind.ISOLATED).channel_sets(8, [True, False])
+        assert sets[0] == [0, 1, 2, 3]
+        assert sets[1] == [4, 5, 6, 7]
+
+    def test_isolated_rejects_indivisible(self):
+        with pytest.raises(ValueError):
+            Strategy(StrategyKind.ISOLATED).channel_sets(8, [True, False, True])
+
+    def test_two_part_groups_by_characteristic(self):
+        """7:1 means 7 channels shared by the write-dominated tenants."""
+        strategy = Strategy(StrategyKind.TWO_PART, (7, 1))
+        sets = strategy.channel_sets(8, [True, False, True, False])
+        assert sets[0] == sets[2] == list(range(7))
+        assert sets[1] == sets[3] == [7]
+
+    def test_two_part_all_same_group(self):
+        strategy = Strategy(StrategyKind.TWO_PART, (6, 2))
+        sets = strategy.channel_sets(8, [False, False])
+        assert sets[0] == sets[1] == [6, 7]
+
+    def test_two_part_must_cover_channels(self):
+        with pytest.raises(ValueError):
+            Strategy(StrategyKind.TWO_PART, (7, 1)).channel_sets(4, [True, False])
+
+    def test_per_tenant_exclusive_ranges(self):
+        strategy = Strategy(StrategyKind.PER_TENANT, (4, 2, 1, 1))
+        sets = strategy.channel_sets(8, [True] * 4)
+        assert sets[0] == [0, 1, 2, 3]
+        assert sets[1] == [4, 5]
+        assert sets[2] == [6]
+        assert sets[3] == [7]
+        combined = sorted(ch for chans in sets.values() for ch in chans)
+        assert combined == list(range(8))
+
+    def test_per_tenant_arity_must_match(self):
+        strategy = Strategy(StrategyKind.PER_TENANT, (4, 2, 1, 1))
+        with pytest.raises(ValueError):
+            strategy.channel_sets(8, [True, False])
+
+    def test_per_tenant_must_cover_channels(self):
+        strategy = Strategy(StrategyKind.PER_TENANT, (4, 2, 1, 1))
+        with pytest.raises(ValueError):
+            strategy.channel_sets(10, [True] * 4)
+
+    @given(idx=st.integers(0, 41))
+    def test_every_strategy_yields_valid_sets(self, idx):
+        """Every strategy's sets stay in range and never leave a tenant empty."""
+        space = StrategySpace(8, 4)
+        sets = space[idx].channel_sets(8, [True, False, False, True])
+        assert set(sets) == {0, 1, 2, 3}
+        for chans in sets.values():
+            assert chans, "tenant left with no channels"
+            assert all(0 <= ch < 8 for ch in chans)
+
+
+class TestStrategySpace:
+    def test_indexing_roundtrip(self):
+        space = StrategySpace(8, 4)
+        for i, strategy in enumerate(space):
+            assert space.index_of(strategy) == i
+            assert space[i] == strategy
+
+    def test_by_label(self):
+        space = StrategySpace(8, 4)
+        assert space.by_label("5:1:1:1").parts == (5, 1, 1, 1)
+        with pytest.raises(ValueError):
+            space.by_label("9:9")
+
+    def test_shared_isolated_shortcuts(self):
+        space = StrategySpace(8, 2)
+        assert space.shared.kind is StrategyKind.SHARED
+        assert space.isolated.kind is StrategyKind.ISOLATED
+
+    def test_index_of_foreign_strategy_rejected(self):
+        space = StrategySpace(8, 2)
+        with pytest.raises(ValueError):
+            space.index_of(Strategy(StrategyKind.PER_TENANT, (5, 1, 1, 1)))
+
+    def test_describe(self):
+        assert "42 strategies" in StrategySpace(8, 4).describe()
+
+    def test_enumerate_validation(self):
+        with pytest.raises(ValueError):
+            enumerate_strategies(1, 2)
+        with pytest.raises(ValueError):
+            enumerate_strategies(8, 1)
+
+    def test_other_channel_counts(self):
+        # 4 channels, 2 tenants: Shared, Isolated, 3:1, 1:3.
+        space = enumerate_strategies(4, 2)
+        assert [s.label for s in space] == ["Shared", "Isolated", "3:1", "1:3"]

@@ -1,0 +1,55 @@
+"""Ablation entry points at micro scale."""
+
+import dataclasses
+
+import pytest
+
+from repro.harness import ArtifactCache, Scale, ablation_scheduling
+from repro.harness.ablations import _spearman
+
+import numpy as np
+
+
+@pytest.fixture
+def cache(tmp_path):
+    return ArtifactCache(tmp_path / "cache")
+
+
+@pytest.fixture(scope="module")
+def micro():
+    return dataclasses.replace(Scale.smoke(), fidelity_mixes=2, mix_requests=300)
+
+
+class TestSpearman:
+    def test_perfect_correlation(self):
+        a = np.array([1.0, 2.0, 3.0, 4.0])
+        assert _spearman(a, a * 10 + 5) == pytest.approx(1.0)
+
+    def test_perfect_anticorrelation(self):
+        a = np.array([1.0, 2.0, 3.0, 4.0])
+        assert _spearman(a, -a) == pytest.approx(-1.0)
+
+    def test_constant_input(self):
+        a = np.ones(4)
+        assert _spearman(a, a) == 1.0
+
+    def test_rank_based_not_value_based(self):
+        a = np.array([1.0, 2.0, 3.0])
+        b = np.array([1.0, 100.0, 101.0])  # same ranks, wild values
+        assert _spearman(a, b) == pytest.approx(1.0)
+
+
+class TestSchedulingAblation:
+    def test_runs_and_reports(self, micro, cache):
+        data = ablation_scheduling(micro, cache=cache)
+        assert len(data["per_mix"]) >= 3
+        assert data["mean_read_speedup"] >= 0.9
+        assert data["mean_write_slowdown"] >= 0.9
+        for row in data["per_mix"]:
+            assert row["fifo_read_us"] > 0
+            assert row["prio_write_us"] > 0
+
+    def test_cached(self, micro, cache):
+        a = ablation_scheduling(micro, cache=cache)
+        b = ablation_scheduling(micro, cache=cache)
+        assert a == b

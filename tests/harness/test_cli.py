@@ -1,0 +1,31 @@
+"""CLI surface (cheap commands only; heavy ones are covered by benches)."""
+
+import pytest
+
+from repro.harness.cli import main
+
+
+class TestCli:
+    def test_info(self, capsys):
+        assert main(["info"]) == 0
+        out = capsys.readouterr().out
+        assert "SSDKeeper" in out
+        assert "42 strategies" in out
+
+    def test_tab2(self, capsys):
+        assert main(["tab2"]) == 0
+        out = capsys.readouterr().out
+        assert "mds_0" in out
+        assert "Table II" in out
+
+    def test_scale_flag(self, capsys):
+        assert main(["info", "--scale", "smoke"]) == 0
+        assert "scale: smoke" in capsys.readouterr().out
+
+    def test_unknown_command_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["fig99"])
+
+    def test_unknown_scale_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["info", "--scale", "galactic"])

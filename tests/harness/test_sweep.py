@@ -1,0 +1,50 @@
+"""Sweep runner."""
+
+import pytest
+
+from repro.harness import auto_processes, run_sweep
+
+
+def square(x):
+    return x * x
+
+
+class TestRunSweep:
+    def test_serial(self):
+        assert run_sweep(square, [1, 2, 3], processes=1) == [1, 4, 9]
+
+    def test_preserves_order(self):
+        assert run_sweep(square, range(10), processes=1) == [x * x for x in range(10)]
+
+    def test_empty(self):
+        assert run_sweep(square, [], processes=1) == []
+
+    def test_serial_exceptions_propagate(self):
+        def boom(x):
+            raise RuntimeError("boom")
+
+        with pytest.raises(RuntimeError):
+            run_sweep(boom, [1], processes=1)
+
+    def test_pool_matches_serial(self):
+        # Module-level function is picklable; run on two workers.
+        serial = run_sweep(square, [1, 2, 3, 4], processes=1)
+        parallel = run_sweep(square, [1, 2, 3, 4], processes=2)
+        assert serial == parallel
+
+
+class TestAutoProcesses:
+    def test_explicit_wins(self):
+        assert auto_processes(3) == 3
+
+    def test_rejects_zero(self):
+        with pytest.raises(ValueError):
+            auto_processes(0)
+
+    def test_env_override(self, monkeypatch):
+        monkeypatch.setenv("REPRO_PROCESSES", "5")
+        assert auto_processes() == 5
+
+    def test_defaults_to_at_least_one(self, monkeypatch):
+        monkeypatch.delenv("REPRO_PROCESSES", raising=False)
+        assert auto_processes() >= 1

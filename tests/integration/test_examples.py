@@ -1,0 +1,55 @@
+"""Examples stay importable and their cheap paths run.
+
+The full examples take minutes (they train models); here we compile all of
+them and exercise the quickstart end to end with a reduced workload by
+reusing its building blocks.
+"""
+
+import py_compile
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = sorted(
+    (Path(__file__).resolve().parent.parent.parent / "examples").glob("*.py")
+)
+
+
+class TestExamples:
+    def test_examples_exist(self):
+        names = {p.name for p in EXAMPLES}
+        assert {
+            "quickstart.py",
+            "multi_tenant_datacenter.py",
+            "online_adaptation.py",
+            "page_allocation_study.py",
+        } <= names
+
+    @pytest.mark.parametrize("path", EXAMPLES, ids=lambda p: p.name)
+    def test_example_compiles(self, path):
+        py_compile.compile(str(path), doraise=True)
+
+    def test_quickstart_logic_small(self, capsys):
+        """The quickstart's core loop on a tiny workload."""
+        from repro.core import StrategySpace
+        from repro.ssd import SSDConfig, simulate
+        from repro.workloads import WorkloadSpec, synthesize_mix
+
+        config = SSDConfig.small()
+        tenants = [
+            WorkloadSpec(name="logger", write_ratio=0.95, rate_rps=12_000,
+                         footprint_pages=8192),
+            WorkloadSpec(name="web", write_ratio=0.05, rate_rps=14_000,
+                         footprint_pages=8192),
+        ]
+        mixed = synthesize_mix(tenants, total_requests=400, seed=42)
+        space = StrategySpace(config.channels, 2)
+        write_dominated = [s.is_write_dominated for s in tenants]
+        totals = {}
+        for strategy in space:
+            sets = strategy.channel_sets(config.channels, write_dominated)
+            totals[strategy.label] = simulate(
+                list(mixed.requests), config, sets
+            ).total_latency_us
+        assert len(totals) == 8
+        assert all(v > 0 for v in totals.values())

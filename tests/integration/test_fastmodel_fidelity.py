@@ -1,0 +1,78 @@
+"""Fast model vs event-driven simulator: strategy-ranking fidelity.
+
+The label sweeps (Algorithm 1) use the vectorised fast model; this test
+verifies the substitution documented in DESIGN.md — the fast model must
+rank allocation strategies like the exact engine, and deploying the fast
+model's winner must cost little under the exact engine.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import LabelerConfig, StrategySpace, random_specs, sweep_strategies
+from repro.core.features import features_of_mix
+from repro.core.labeler import pick_label
+from repro.ssd import SSDConfig
+from repro.workloads import synthesize_mix
+
+
+def spearman(a, b):
+    ra = np.argsort(np.argsort(a)).astype(float)
+    rb = np.argsort(np.argsort(b)).astype(float)
+    ra -= ra.mean()
+    rb -= rb.mean()
+    return float((ra * rb).sum() / np.sqrt((ra**2).sum() * (rb**2).sum()))
+
+
+@pytest.fixture(scope="module")
+def sweeps():
+    fast_cfg = LabelerConfig(
+        ssd=SSDConfig.small(),
+        n_tenants=4,
+        window_requests_max=600,
+        window_s=0.02,
+        replications=1,
+        engine="fast",
+    )
+    event_cfg = LabelerConfig(
+        ssd=fast_cfg.ssd,
+        n_tenants=4,
+        window_requests_max=600,
+        window_s=0.02,
+        replications=1,
+        engine="event",
+    )
+    space = StrategySpace()
+    rng = np.random.default_rng(17)
+    rows = []
+    for i in range(3):
+        specs, total = random_specs(fast_cfg, rng, intensity_level=12 + 3 * i)
+        mixed = synthesize_mix(specs, total_requests=total, seed=100 + i)
+        fv = features_of_mix(mixed, intensity_quantum=fast_cfg.intensity_quantum)
+        fast = np.array(
+            [r.total_latency_us for r in sweep_strategies(mixed, fv, space, fast_cfg)]
+        )
+        event = np.array(
+            [r.total_latency_us for r in sweep_strategies(mixed, fv, space, event_cfg)]
+        )
+        rows.append((fast, event))
+    return rows
+
+
+class TestRankingFidelity:
+    def test_rank_correlation_is_high(self, sweeps):
+        for fast, event in sweeps:
+            assert spearman(fast, event) > 0.85
+
+    def test_fast_winner_is_near_optimal_under_exact_engine(self, sweeps):
+        for fast, event in sweeps:
+            winner = pick_label(fast, 0.03)
+            cross_regret = event[winner] / event.min()
+            assert cross_regret < 1.5
+
+    def test_worst_strategies_agree(self, sweeps):
+        """Both engines agree on which strategies are catastrophic."""
+        for fast, event in sweeps:
+            fast_bad = set(np.argsort(fast)[-5:])
+            event_bad = set(np.argsort(event)[-5:])
+            assert len(fast_bad & event_bad) >= 3

@@ -1,0 +1,66 @@
+"""Dense layer construction and bookkeeping (backward is covered in
+test_gradients.py)."""
+
+import numpy as np
+import pytest
+
+from repro.nn import Dense
+
+
+class TestConstruction:
+    def test_shapes(self, rng):
+        layer = Dense(4, 3, rng=rng)
+        assert layer.weight.shape == (3, 4)
+        assert layer.bias.shape == (3,)
+        assert layer.n_parameters == 15
+
+    def test_bias_starts_at_zero(self, rng):
+        assert not Dense(4, 3, rng=rng).bias.any()
+
+    def test_he_bound_for_relu(self):
+        rng = np.random.default_rng(0)
+        layer = Dense(100, 50, "relu", rng=rng)
+        bound = np.sqrt(6.0 / 100)
+        assert np.abs(layer.weight).max() <= bound
+
+    def test_glorot_bound_otherwise(self):
+        rng = np.random.default_rng(0)
+        layer = Dense(100, 50, "logistic", rng=rng)
+        bound = np.sqrt(6.0 / 150)
+        assert np.abs(layer.weight).max() <= bound
+
+    def test_rejects_nonpositive_sizes(self):
+        with pytest.raises(ValueError):
+            Dense(0, 3)
+        with pytest.raises(ValueError):
+            Dense(3, 0)
+
+    def test_seeded_determinism(self):
+        a = Dense(4, 3, rng=np.random.default_rng(7))
+        b = Dense(4, 3, rng=np.random.default_rng(7))
+        assert np.array_equal(a.weight, b.weight)
+
+
+class TestForward:
+    def test_linear_identity_layer(self, rng):
+        layer = Dense(3, 2, "identity", rng=rng)
+        x = rng.normal(size=(5, 3))
+        expected = x @ layer.weight.T + layer.bias
+        assert np.allclose(layer.forward(x), expected)
+
+    def test_1d_input_promoted(self, rng):
+        layer = Dense(3, 2, rng=rng)
+        assert layer.forward(np.ones(3)).shape == (1, 2)
+
+    def test_no_cache_without_train_flag(self, rng):
+        layer = Dense(3, 2, rng=rng)
+        layer.forward(np.ones((1, 3)))
+        with pytest.raises(RuntimeError):
+            layer.backward(np.ones((1, 2)))
+
+    def test_parameters_and_gradients_align(self, rng):
+        layer = Dense(3, 2, rng=rng)
+        layer.forward(np.ones((1, 3)), train=True)
+        layer.backward(np.ones((1, 2)))
+        for p, g in zip(layer.parameters(), layer.gradients()):
+            assert p.shape == g.shape

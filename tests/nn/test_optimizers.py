@@ -1,0 +1,128 @@
+"""Optimizers: exact update rules and convergence behaviour."""
+
+import numpy as np
+import pytest
+
+from repro.nn import AdaGrad, Adam, RMSProp, SGD, SGDMomentum, get_optimizer
+
+
+def quadratic_descent(optimizer, start=5.0, steps=300):
+    """Minimise f(w) = w^2 with the given optimizer; return |final w|."""
+    w = np.array([start])
+    for _ in range(steps):
+        optimizer.step([w], [2 * w])
+    return abs(float(w[0]))
+
+
+class TestSGD:
+    def test_exact_equation_one_update(self):
+        """w := w - alpha * dC/dw, verbatim."""
+        opt = SGD(learning_rate=0.1)
+        w = np.array([1.0, 2.0])
+        g = np.array([10.0, -20.0])
+        opt.step([w], [g])
+        assert np.allclose(w, [0.0, 4.0])
+
+    def test_paper_default_learning_rate(self):
+        assert SGD().learning_rate == 0.2
+
+    def test_converges_on_quadratic(self):
+        assert quadratic_descent(SGD(0.1)) < 1e-6
+
+
+class TestSGDMomentum:
+    def test_accumulates_velocity(self):
+        opt = SGDMomentum(learning_rate=1.0, momentum=0.5)
+        w = np.array([0.0])
+        g = np.array([1.0])
+        opt.step([w], [g])   # v = -1, w = -1
+        opt.step([w], [g])   # v = -1.5, w = -2.5
+        assert w[0] == pytest.approx(-2.5)
+
+    def test_paper_momentum_value(self):
+        assert SGDMomentum().momentum == 0.9
+
+    def test_rejects_bad_momentum(self):
+        with pytest.raises(ValueError):
+            SGDMomentum(momentum=1.0)
+
+    def test_faster_than_plain_sgd_on_ravine(self):
+        # Ill-conditioned quadratic: momentum accelerates the slow axis.
+        def run(opt, steps=120):
+            w = np.array([5.0, 5.0])
+            scales = np.array([1.0, 0.02])
+            for _ in range(steps):
+                opt.step([w], [2 * scales * w])
+            return np.linalg.norm(w)
+
+        assert run(SGDMomentum(0.1, 0.9)) < run(SGD(0.1))
+
+
+class TestAdam:
+    def test_first_step_size_is_learning_rate(self):
+        # Bias correction makes the first step ~lr regardless of gradient scale.
+        for scale in (1e-3, 1.0, 1e3):
+            opt = Adam(learning_rate=0.02)
+            w = np.array([1.0])
+            opt.step([w], [np.array([scale])])
+            assert w[0] == pytest.approx(1.0 - 0.02, rel=1e-4)
+
+    def test_paper_default_learning_rate(self):
+        assert Adam().learning_rate == 0.02
+
+    def test_converges_on_quadratic(self):
+        assert quadratic_descent(Adam(0.1), steps=600) < 1e-3
+
+    def test_rejects_bad_betas(self):
+        with pytest.raises(ValueError):
+            Adam(beta1=1.0)
+        with pytest.raises(ValueError):
+            Adam(beta2=-0.1)
+
+
+class TestAdaGradRMSProp:
+    def test_adagrad_decreases_effective_rate(self):
+        opt = AdaGrad(learning_rate=1.0)
+        w = np.array([0.0])
+        g = np.array([1.0])
+        opt.step([w], [g])
+        first = abs(w[0])
+        w2 = np.array([0.0])
+        opt2 = AdaGrad(learning_rate=1.0)
+        for _ in range(10):
+            opt2.step([w2], [g])
+        # Ten steps move less than 10x the first step (accumulated scaling).
+        assert abs(w2[0]) < 10 * first
+
+    def test_rmsprop_converges_to_lr_neighbourhood(self):
+        # RMSProp's normalised steps oscillate at ~lr around the optimum.
+        assert quadratic_descent(RMSProp(0.05), steps=600) < 0.06
+
+    def test_rmsprop_rejects_bad_decay(self):
+        with pytest.raises(ValueError):
+            RMSProp(decay=1.5)
+
+
+class TestCommon:
+    @pytest.mark.parametrize("cls", [SGD, SGDMomentum, AdaGrad, RMSProp, Adam])
+    def test_rejects_nonpositive_learning_rate(self, cls):
+        with pytest.raises(ValueError):
+            cls(learning_rate=0.0)
+
+    def test_shape_mismatch_rejected(self):
+        opt = SGD(0.1)
+        with pytest.raises(ValueError):
+            opt.step([np.zeros(3)], [np.zeros(4)])
+        with pytest.raises(ValueError):
+            opt.step([np.zeros(3)], [])
+
+    def test_registry(self):
+        assert isinstance(get_optimizer("sgd"), SGD)
+        assert isinstance(get_optimizer("sgd-momentum"), SGDMomentum)
+        assert isinstance(get_optimizer("adam", learning_rate=0.5), Adam)
+        with pytest.raises(ValueError):
+            get_optimizer("lion")
+
+    def test_registry_passthrough(self):
+        opt = Adam()
+        assert get_optimizer(opt) is opt

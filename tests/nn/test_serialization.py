@@ -1,0 +1,60 @@
+"""Model serialisation: bit-exact round trips."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.nn import MLP
+from repro.nn.serialization import from_dict, load, save, to_dict
+
+
+class TestRoundTrip:
+    def test_bit_exact_parameters(self, rng):
+        net = MLP([4, 7, 3], hidden_activation="logistic", seed=2)
+        clone = from_dict(to_dict(net))
+        for a, b in zip(net.layers, clone.layers):
+            assert np.array_equal(a.weight, b.weight)
+            assert np.array_equal(a.bias, b.bias)
+
+    def test_identical_predictions(self, rng):
+        net = MLP([4, 7, 3], seed=2)
+        clone = from_dict(to_dict(net))
+        x = rng.normal(size=(10, 4))
+        assert np.array_equal(net.forward(x), clone.forward(x))
+
+    def test_file_roundtrip(self, tmp_path, rng):
+        net = MLP([9, 64, 42], hidden_activation="logistic", seed=1)
+        path = tmp_path / "model.json"
+        save(net, path)
+        clone = load(path)
+        x = rng.normal(size=(3, 9))
+        assert np.array_equal(net.forward(x), clone.forward(x))
+
+    def test_activation_preserved(self):
+        net = MLP([2, 3, 2], hidden_activation="tanh", seed=0)
+        assert from_dict(to_dict(net)).hidden_activation == "tanh"
+
+    def test_payload_is_json_serialisable(self):
+        net = MLP([2, 3, 2], seed=0)
+        json.dumps(to_dict(net))  # must not raise
+
+
+class TestValidation:
+    def test_rejects_unknown_format(self):
+        with pytest.raises(ValueError):
+            from_dict({"format": "bogus"})
+
+    def test_rejects_layer_count_mismatch(self):
+        net = MLP([2, 3, 2], seed=0)
+        payload = to_dict(net)
+        payload["layers"] = payload["layers"][:1]
+        with pytest.raises(ValueError):
+            from_dict(payload)
+
+    def test_rejects_shape_mismatch(self):
+        net = MLP([2, 3, 2], seed=0)
+        payload = to_dict(net)
+        payload["layers"][0]["bias"] = payload["layers"][0]["bias"][:-1]
+        with pytest.raises(ValueError):
+            from_dict(payload)

@@ -1,0 +1,113 @@
+"""SSDConfig: Table-I values, validation, derived geometry."""
+
+import pytest
+
+from repro.ssd import GiB, KiB, SSDConfig
+
+
+class TestPaperConfiguration:
+    """The defaults must match Table I of the paper exactly."""
+
+    def test_table_one_values(self, paper_config):
+        assert paper_config.page_size == 16 * KiB
+        assert paper_config.pages_per_block == 128
+        assert paper_config.blocks_per_plane == 4096
+        assert paper_config.planes_per_chip_equiv() if False else True
+        assert paper_config.planes_per_die == 4
+        assert paper_config.chips_per_channel == 2
+        assert paper_config.channels == 8
+        assert paper_config.read_latency_us == 20.0
+        assert paper_config.write_latency_us == 200.0
+        assert paper_config.erase_latency_us == 1500.0
+
+    def test_physical_capacity_is_512_gib(self, paper_config):
+        assert paper_config.physical_capacity_bytes == 512 * GiB
+
+    def test_total_counts(self, paper_config):
+        assert paper_config.chips == 16
+        assert paper_config.dies == 16
+        assert paper_config.planes == 64
+        assert paper_config.total_pages == 512 * GiB // (16 * KiB)
+
+    def test_paper_constructor_equals_defaults(self):
+        assert SSDConfig.paper() == SSDConfig()
+
+
+class TestDerivedQuantities:
+    def test_page_transfer_time(self, paper_config):
+        # 16 KiB over 400 MB/s -> 40.96 us
+        assert paper_config.page_transfer_us == pytest.approx(16384 / 400)
+
+    def test_logical_pages_respect_overprovisioning(self, paper_config):
+        assert paper_config.logical_pages < paper_config.total_pages
+        expected = int(paper_config.total_pages * (1 - paper_config.overprovisioning))
+        assert paper_config.logical_pages == expected
+
+    def test_pages_hierarchy_consistency(self, small_config):
+        c = small_config
+        assert c.pages_per_plane == c.blocks_per_plane * c.pages_per_block
+        assert c.pages_per_chip == c.pages_per_plane * c.planes_per_die * c.dies_per_chip
+        assert c.pages_per_channel == c.pages_per_chip * c.chips_per_channel
+        assert c.total_pages == c.pages_per_channel * c.channels
+
+    def test_small_keeps_topology(self):
+        c = SSDConfig.small()
+        assert c.channels == 8
+        assert c.chips_per_channel == 2
+        assert c.blocks_per_plane < SSDConfig.paper().blocks_per_plane
+
+    def test_replace_produces_updated_copy(self, paper_config):
+        other = paper_config.replace(channels=4)
+        assert other.channels == 4
+        assert paper_config.channels == 8
+
+    def test_describe_mentions_key_numbers(self, paper_config):
+        text = paper_config.describe()
+        assert "8 channels" in text
+        assert "512.0 GiB" in text
+
+
+class TestValidation:
+    @pytest.mark.parametrize(
+        "field",
+        [
+            "channels",
+            "chips_per_channel",
+            "dies_per_chip",
+            "planes_per_die",
+            "blocks_per_plane",
+            "pages_per_block",
+            "page_size",
+        ],
+    )
+    def test_rejects_nonpositive_structure(self, field):
+        with pytest.raises(ValueError):
+            SSDConfig(**{field: 0})
+
+    @pytest.mark.parametrize(
+        "field",
+        ["read_latency_us", "write_latency_us", "erase_latency_us", "channel_bandwidth_mbps"],
+    )
+    def test_rejects_nonpositive_timing(self, field):
+        with pytest.raises(ValueError):
+            SSDConfig(**{field: 0.0})
+
+    def test_rejects_negative_command_overhead(self):
+        with pytest.raises(ValueError):
+            SSDConfig(command_overhead_us=-1.0)
+
+    def test_rejects_bad_gc_thresholds(self):
+        with pytest.raises(ValueError):
+            SSDConfig(gc_threshold=0.05, gc_restore=0.04)
+        with pytest.raises(ValueError):
+            SSDConfig(gc_threshold=0.0)
+
+    def test_rejects_bad_overprovisioning(self):
+        with pytest.raises(ValueError):
+            SSDConfig(overprovisioning=1.0)
+        with pytest.raises(ValueError):
+            SSDConfig(overprovisioning=-0.1)
+
+    def test_rejects_float_structure(self):
+        with pytest.raises(ValueError):
+            SSDConfig(channels=8.0)  # type: ignore[arg-type]

@@ -1,0 +1,158 @@
+"""DES kernel: event ordering, resource queueing disciplines."""
+
+import pytest
+
+from repro.ssd.engine import PRIO_GC, PRIO_READ, PRIO_WRITE, EventLoop, Resource
+
+
+class TestEventLoop:
+    def test_runs_in_time_order(self):
+        loop = EventLoop()
+        seen = []
+        loop.schedule(5.0, lambda: seen.append("b"))
+        loop.schedule(1.0, lambda: seen.append("a"))
+        loop.schedule(9.0, lambda: seen.append("c"))
+        loop.run()
+        assert seen == ["a", "b", "c"]
+        assert loop.now == 9.0
+
+    def test_fifo_within_same_timestamp(self):
+        loop = EventLoop()
+        seen = []
+        loop.schedule(1.0, lambda: seen.append(1))
+        loop.schedule(1.0, lambda: seen.append(2))
+        loop.run()
+        assert seen == [1, 2]
+
+    def test_rejects_past_events(self):
+        loop = EventLoop()
+        loop.schedule(5.0, lambda: loop.schedule(1.0, lambda: None))
+        with pytest.raises(ValueError):
+            loop.run()
+
+    def test_events_scheduled_during_run_are_processed(self):
+        loop = EventLoop()
+        seen = []
+        loop.schedule(1.0, lambda: loop.schedule(2.0, lambda: seen.append("late")))
+        loop.run()
+        assert seen == ["late"]
+
+    def test_run_until_stops_early(self):
+        loop = EventLoop()
+        seen = []
+        loop.schedule(1.0, lambda: seen.append(1))
+        loop.schedule(10.0, lambda: seen.append(2))
+        loop.run(until=5.0)
+        assert seen == [1]
+        assert bool(loop)  # pending events remain
+
+    def test_counts_events(self):
+        loop = EventLoop()
+        for t in range(5):
+            loop.schedule(float(t), lambda: None)
+        loop.run()
+        assert loop.events_processed == 5
+
+
+class TestResource:
+    def test_immediate_grant_when_idle(self):
+        loop = EventLoop()
+        res = Resource(loop)
+        starts = []
+        loop.schedule(0.0, lambda: res.acquire((0, 0), 10.0, starts.append))
+        loop.run()
+        assert starts == [0.0]
+        assert res.free_at == 10.0
+
+    def test_serialises_contending_jobs(self):
+        loop = EventLoop()
+        res = Resource(loop)
+        starts = {}
+
+        def submit() -> None:
+            res.acquire((PRIO_WRITE, 0), 10.0, lambda s: starts.__setitem__("a", s))
+            res.acquire((PRIO_WRITE, 1), 5.0, lambda s: starts.__setitem__("b", s))
+
+        loop.schedule(0.0, submit)
+        loop.run()
+        assert starts == {"a": 0.0, "b": 10.0}
+        assert res.busy_time == 15.0
+
+    def test_priority_order_among_waiters(self):
+        loop = EventLoop()
+        res = Resource(loop)
+        order = []
+
+        def submit() -> None:
+            res.acquire((PRIO_WRITE, 0), 10.0, lambda s: order.append("holder"))
+            res.acquire((PRIO_WRITE, 1), 1.0, lambda s: order.append("write"))
+            res.acquire((PRIO_GC, 2), 1.0, lambda s: order.append("gc"))
+            res.acquire((PRIO_READ, 3), 1.0, lambda s: order.append("read"))
+
+        loop.schedule(0.0, submit)
+        loop.run()
+        # Holder is never preempted; waiters drain by priority class.
+        assert order == ["holder", "read", "gc", "write"]
+
+    def test_fifo_within_priority_class(self):
+        loop = EventLoop()
+        res = Resource(loop)
+        order = []
+
+        def submit() -> None:
+            res.acquire((PRIO_WRITE, loop.now), 10.0, lambda s: order.append(0))
+            for i in (1, 2, 3):
+                res.acquire((PRIO_WRITE, loop.now), 1.0, lambda s, i=i: order.append(i))
+
+        loop.schedule(0.0, submit)
+        loop.run()
+        assert order == [0, 1, 2, 3]
+
+    def test_wait_time_accounting(self):
+        loop = EventLoop()
+        res = Resource(loop)
+        loop.schedule(0.0, lambda: res.acquire((0, 0), 10.0, lambda s: None))
+        loop.schedule(0.0, lambda: res.acquire((0, 1), 1.0, lambda s: None))
+        loop.run()
+        assert res.wait_time == pytest.approx(10.0)
+        assert res.grants == 2
+
+    def test_rejects_negative_duration(self):
+        loop = EventLoop()
+        res = Resource(loop)
+        with pytest.raises(ValueError):
+            res.acquire((0, 0), -1.0, lambda s: None)
+
+    def test_zero_duration_jobs_pass_through(self):
+        loop = EventLoop()
+        res = Resource(loop)
+        starts = []
+        loop.schedule(0.0, lambda: res.acquire((0, 0), 0.0, starts.append))
+        loop.schedule(0.0, lambda: res.acquire((0, 1), 0.0, starts.append))
+        loop.run()
+        assert starts == [0.0, 0.0]
+
+    def test_utilization(self):
+        loop = EventLoop()
+        res = Resource(loop)
+        loop.schedule(0.0, lambda: res.acquire((0, 0), 25.0, lambda s: None))
+        loop.run()
+        assert res.utilization(100.0) == pytest.approx(0.25)
+        assert res.utilization(0.0) == 0.0
+        assert res.utilization(10.0) == 1.0  # clamped
+
+    def test_queue_depth(self):
+        loop = EventLoop()
+        res = Resource(loop)
+        depths = []
+
+        def submit() -> None:
+            res.acquire((0, 0), 10.0, lambda s: None)
+            res.acquire((0, 1), 1.0, lambda s: None)
+            res.acquire((0, 2), 1.0, lambda s: None)
+            depths.append(res.queue_depth)
+
+        loop.schedule(0.0, submit)
+        loop.run()
+        assert depths == [2]
+        assert res.queue_depth == 0

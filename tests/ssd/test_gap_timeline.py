@@ -1,0 +1,97 @@
+"""_GapTimeline: the fast model's work-conserving resource approximation."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.ssd.fastmodel import _GapTimeline
+
+
+class TestBasicPlacement:
+    def test_idle_resource_serves_at_request_time(self):
+        tl = _GapTimeline()
+        assert tl.place(10.0, 5.0) == 15.0
+        assert tl.tail == 15.0
+
+    def test_busy_resource_queues(self):
+        tl = _GapTimeline()
+        tl.place(0.0, 10.0)
+        assert tl.place(2.0, 5.0) == 15.0
+
+    def test_gap_recorded_when_request_after_tail(self):
+        tl = _GapTimeline()
+        tl.place(0.0, 5.0)       # busy [0, 5]
+        tl.place(20.0, 5.0)      # busy [20, 25]; gap [5, 20]
+        assert tl.gaps == [[5.0, 20.0]]
+
+    def test_backfills_gap(self):
+        tl = _GapTimeline()
+        tl.place(0.0, 5.0)
+        tl.place(20.0, 5.0)      # gap [5, 20]
+        end = tl.place(6.0, 4.0)  # fits in the gap at 6
+        assert end == 10.0
+        assert tl.tail == 25.0   # tail unchanged
+
+    def test_gap_split_on_interior_placement(self):
+        tl = _GapTimeline()
+        tl.place(0.0, 2.0)
+        tl.place(30.0, 2.0)      # gap [2, 30]
+        tl.place(10.0, 5.0)      # occupies [10, 15]
+        assert [2.0, 10.0] in tl.gaps
+        assert [15.0, 30.0] in tl.gaps
+
+    def test_gap_consumed_from_start(self):
+        tl = _GapTimeline()
+        tl.place(0.0, 2.0)
+        tl.place(10.0, 2.0)      # gap [2, 10]
+        tl.place(0.0, 8.0)       # rt before gap: starts at 2, fills whole gap
+        assert tl.gaps == []
+
+    def test_too_small_gap_skipped(self):
+        tl = _GapTimeline()
+        tl.place(0.0, 2.0)
+        tl.place(4.0, 2.0)       # gap [2, 4]
+        end = tl.place(0.0, 3.0)  # does not fit; goes to tail
+        assert end == 9.0
+
+    def test_old_gaps_pruned(self):
+        tl = _GapTimeline()
+        tl.place(0.0, 1.0)
+        tl.place(10.0, 1.0)      # gap [1, 10]
+        tl.place(100_000.0, 1.0)
+        tl.place(100_001.0, 1.0)
+        assert [1.0, 10.0] not in tl.gaps
+
+
+class TestWorkConservation:
+    @given(
+        jobs=st.lists(
+            st.tuples(st.floats(0, 1000), st.floats(0.1, 50)),
+            min_size=1,
+            max_size=60,
+        )
+    )
+    def test_no_overlap_and_no_early_start(self, jobs):
+        """Bookings never start before their request time, and total busy
+        time equals the sum of durations (no lost or duplicated work)."""
+        tl = _GapTimeline()
+        intervals = []
+        # Process in arrival order like the fast model does.
+        for rt, dur in sorted(jobs):
+            end = tl.place(rt, dur)
+            start = end - dur
+            assert start >= rt - 1e-9
+            intervals.append((start, end))
+        intervals.sort()
+        for (s1, e1), (s2, e2) in zip(intervals, intervals[1:]):
+            assert s2 >= e1 - 1e-6, "bookings overlap"
+
+    def test_utilisation_beats_scalar_timeline(self):
+        """The scenario that motivated gaps: a late-requesting job must not
+        block earlier-requesting jobs from idle windows."""
+        tl = _GapTimeline()
+        tl.place(0.0, 1.0)        # short job
+        tl.place(100.0, 10.0)     # requested late: gap [1, 100]
+        # Ten early jobs fit in the gap instead of queueing at the tail.
+        ends = [tl.place(float(i), 5.0) for i in range(1, 11)]
+        assert max(ends) < 100.0

@@ -1,0 +1,115 @@
+"""Latency statistics and simulation results."""
+
+import math
+
+import pytest
+
+from repro.ssd import LatencyAccumulator, OpStats, OpType
+from repro.ssd.metrics import build_result
+
+
+class TestOpStats:
+    def test_online_aggregation(self):
+        stats = OpStats()
+        for v in (10.0, 30.0, 20.0):
+            stats.add(v)
+        assert stats.count == 3
+        assert stats.total_us == 60.0
+        assert stats.mean_us == 20.0
+        assert stats.max_us == 30.0
+        assert stats.min_us == 10.0
+
+    def test_empty_mean_is_zero(self):
+        assert OpStats().mean_us == 0.0
+
+    def test_percentile_requires_samples(self):
+        stats = OpStats()
+        stats.add(1.0)
+        with pytest.raises(RuntimeError):
+            stats.percentile(50)
+
+    def test_percentile_with_samples(self):
+        stats = OpStats(samples=[])
+        for v in range(1, 101):
+            stats.add(float(v))
+        assert stats.percentile(0) == 1.0
+        assert stats.percentile(100) == 100.0
+        assert stats.percentile(50) == pytest.approx(50.5)
+
+    def test_percentile_validates_range(self):
+        stats = OpStats(samples=[1.0])
+        with pytest.raises(ValueError):
+            stats.percentile(101)
+
+    def test_merged(self):
+        a = OpStats()
+        b = OpStats()
+        a.add(1.0)
+        b.add(3.0)
+        merged = a.merged(b)
+        assert merged.count == 2
+        assert merged.total_us == 4.0
+        assert merged.max_us == 3.0
+        assert merged.min_us == 1.0
+
+
+class TestLatencyAccumulator:
+    def test_per_workload_per_op(self):
+        acc = LatencyAccumulator()
+        acc.add(0, OpType.READ, 10.0)
+        acc.add(0, OpType.WRITE, 100.0)
+        acc.add(1, OpType.READ, 20.0)
+        assert acc.stats(0, OpType.READ).count == 1
+        assert acc.stats(1, OpType.WRITE).count == 0
+        assert acc.workloads() == [0, 1]
+
+    def test_op_totals(self):
+        acc = LatencyAccumulator()
+        acc.add(0, OpType.READ, 10.0)
+        acc.add(1, OpType.READ, 30.0)
+        totals = acc.op_totals(OpType.READ)
+        assert totals.count == 2
+        assert totals.total_us == 40.0
+
+    def test_records_samples_when_enabled(self):
+        acc = LatencyAccumulator(record_latencies=True)
+        acc.add(0, OpType.READ, 5.0)
+        assert acc.stats(0, OpType.READ).samples == [5.0]
+
+
+class TestSimulationResult:
+    def make_result(self):
+        acc = LatencyAccumulator()
+        acc.add(0, OpType.READ, 10.0)
+        acc.add(0, OpType.WRITE, 200.0)
+        acc.add(1, OpType.READ, 30.0)
+        return build_result(acc, makespan_us=1000.0, requests=3, subrequests=5)
+
+    def test_total_latency_is_paper_objective(self):
+        result = self.make_result()
+        assert result.total_latency_us == 240.0
+        assert result.mean_total_us == pytest.approx(80.0)
+
+    def test_per_workload_breakdown(self):
+        result = self.make_result()
+        assert result.workload_total_us(0) == 210.0
+        assert result.workload_total_us(1) == 30.0
+        assert result.workload_total_us(9) == 0.0
+
+    def test_means(self):
+        result = self.make_result()
+        assert result.mean_read_us == pytest.approx(20.0)
+        assert result.mean_write_us == pytest.approx(200.0)
+
+    def test_summary_is_informative(self):
+        text = self.make_result().summary()
+        assert "3 reqs" in text
+        assert "GC" in text
+
+    def test_empty_result(self):
+        result = build_result(
+            LatencyAccumulator(), makespan_us=0.0, requests=0, subrequests=0
+        )
+        assert result.total_latency_us == 0.0
+        assert result.mean_total_us == 0.0
+        assert math.isinf(result.read.min_us)

@@ -1,0 +1,101 @@
+"""Static and dynamic page placers."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.ssd import Geometry, SSDConfig
+from repro.ssd.ftl.page_alloc import (
+    DynamicPagePlacer,
+    PageAllocMode,
+    StaticPagePlacer,
+    make_placer,
+)
+
+
+@pytest.fixture
+def geo():
+    return Geometry(SSDConfig.small())
+
+
+class TestPageAllocMode:
+    def test_from_str(self):
+        assert PageAllocMode.from_str("static") is PageAllocMode.STATIC
+        assert PageAllocMode.from_str(" DYNAMIC ") is PageAllocMode.DYNAMIC
+
+    def test_from_str_rejects_unknown(self):
+        with pytest.raises(ValueError):
+            PageAllocMode.from_str("hybrid")  # hybrid is a policy, not a mode
+
+
+class TestStaticPlacer:
+    def test_consecutive_lpns_hit_different_channels(self, geo):
+        placer = StaticPagePlacer(geo, [0, 1, 2, 3])
+        channels = [
+            geo.channel_of(geo.plane_base_ppn(placer.place(lpn)))
+            for lpn in range(4)
+        ]
+        assert channels == [0, 1, 2, 3]
+
+    def test_stays_within_allowed_channels(self, geo):
+        allowed = [2, 5]
+        placer = StaticPagePlacer(geo, allowed)
+        for lpn in range(200):
+            plane = placer.place(lpn)
+            channel = geo.channel_of(geo.plane_base_ppn(plane))
+            assert channel in allowed
+
+    def test_deterministic(self, geo):
+        placer = StaticPagePlacer(geo, [0, 1])
+        assert [placer.place(i) for i in range(50)] == [
+            placer.place(i) for i in range(50)
+        ]
+
+    def test_covers_all_planes_of_channel_set(self, geo):
+        allowed = [0, 1]
+        placer = StaticPagePlacer(geo, allowed)
+        planes = {placer.place(lpn) for lpn in range(1000)}
+        assert planes == set(geo.planes_in_channels(allowed))
+
+    def test_rejects_empty_channel_set(self, geo):
+        with pytest.raises(ValueError):
+            StaticPagePlacer(geo, [])
+
+    @given(lpn=st.integers(0, 10**6))
+    def test_any_lpn_lands_in_allowed_set(self, lpn):
+        geo = Geometry(SSDConfig.small())
+        placer = StaticPagePlacer(geo, [1, 4, 6])
+        plane = placer.place(lpn)
+        channel = geo.channel_of(geo.plane_base_ppn(plane))
+        assert channel in (1, 4, 6)
+
+
+class TestDynamicPlacer:
+    def test_picks_least_busy(self, geo):
+        loads = {}
+        placer = DynamicPagePlacer(geo, [0, 1], lambda p: (loads.get(p, 0),))
+        candidates = geo.planes_in_channels([0, 1])
+        for p in candidates:
+            loads[p] = 5
+        idle = candidates[7]
+        loads[idle] = 0
+        assert placer.place(0) == idle
+
+    def test_round_robins_on_ties(self, geo):
+        placer = DynamicPagePlacer(geo, [0], lambda p: (0,))
+        picks = [placer.place(i) for i in range(8)]
+        assert len(set(picks)) == len(picks)  # spreads over distinct planes
+
+    def test_rejects_empty_channel_set(self, geo):
+        with pytest.raises(ValueError):
+            DynamicPagePlacer(geo, [], lambda p: (0,))
+
+
+class TestFactory:
+    def test_make_static(self, geo):
+        placer = make_placer(PageAllocMode.STATIC, geo, [0], lambda p: (0,))
+        assert isinstance(placer, StaticPagePlacer)
+
+    def test_make_dynamic(self, geo):
+        placer = make_placer(PageAllocMode.DYNAMIC, geo, [0], lambda p: (0,))
+        assert isinstance(placer, DynamicPagePlacer)

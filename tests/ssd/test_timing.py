@@ -1,0 +1,39 @@
+"""Service-time decomposition."""
+
+import pytest
+
+from repro.ssd import SSDConfig, ServiceTimes
+
+
+class TestServiceTimes:
+    def test_from_paper_config(self, paper_config):
+        t = ServiceTimes.from_config(paper_config)
+        assert t.read_flash_us == 20.0
+        assert t.write_flash_us == 200.0
+        assert t.erase_us == 1500.0
+        assert t.transfer_us == pytest.approx(16384 / 400)
+
+    def test_read_phases(self, paper_config):
+        t = ServiceTimes.from_config(paper_config)
+        assert t.read_die_us == pytest.approx(20.0 + t.command_us)
+        assert t.read_bus_us == t.transfer_us
+        assert t.read_service_us == pytest.approx(t.read_die_us + t.read_bus_us)
+
+    def test_write_phases(self, paper_config):
+        t = ServiceTimes.from_config(paper_config)
+        assert t.write_die_us == 200.0
+        assert t.write_bus_us == pytest.approx(t.transfer_us + t.command_us)
+        assert t.write_service_us == pytest.approx(t.write_bus_us + t.write_die_us)
+
+    def test_move_avoids_bus(self, paper_config):
+        t = ServiceTimes.from_config(paper_config)
+        assert t.move_die_us == pytest.approx(220.0)
+
+    def test_write_slower_than_read(self, paper_config):
+        t = ServiceTimes.from_config(paper_config)
+        assert t.write_service_us > t.read_service_us
+
+    def test_faster_bus_shrinks_transfer(self):
+        slow = ServiceTimes.from_config(SSDConfig(channel_bandwidth_mbps=200.0))
+        fast = ServiceTimes.from_config(SSDConfig(channel_bandwidth_mbps=800.0))
+        assert slow.transfer_us == pytest.approx(4 * fast.transfer_us)

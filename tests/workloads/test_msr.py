@@ -1,0 +1,66 @@
+"""MSR Cambridge stand-ins vs Table II."""
+
+import pytest
+
+from repro.workloads import generate, msr
+
+#: The exact published Table-II rows.
+EXPECTED = {
+    "mds_0": (0.88, 1_211_034),
+    "mds_1": (0.07, 1_637_711),
+    "rsrch_0": (0.91, 1_433_654),
+    "prxy_0": (0.97, 12_518_968),
+    "src_1": (0.05, 45_746_222),
+    "web_2": (0.01, 5_175_367),
+}
+
+
+class TestTableII:
+    def test_all_six_workloads_present(self):
+        assert set(msr.available()) == set(EXPECTED)
+
+    @pytest.mark.parametrize("name", sorted(EXPECTED))
+    def test_published_statistics(self, name):
+        ratio, count = EXPECTED[name]
+        info = msr.TABLE_II[name]
+        assert info.write_ratio == ratio
+        assert info.request_count == count
+        assert msr.request_count(name) == count
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(KeyError):
+            msr.spec("unknown_0")
+        with pytest.raises(KeyError):
+            msr.request_count("unknown_0")
+
+
+class TestSpecs:
+    @pytest.mark.parametrize("name", sorted(EXPECTED))
+    def test_generated_write_ratio_matches(self, name):
+        s = msr.spec(name, rate_scale=100.0, footprint_pages=8192)
+        reqs = generate(s, 4000, workload_id=0, seed=1)
+        writes = sum(1 for r in reqs if not r.is_read)
+        assert writes / len(reqs) == pytest.approx(EXPECTED[name][0], abs=0.02)
+
+    def test_relative_rates_follow_request_counts(self):
+        src = msr.spec("src_1")
+        mds = msr.spec("mds_0")
+        expected_ratio = EXPECTED["src_1"][1] / EXPECTED["mds_0"][1]
+        assert src.rate_rps / mds.rate_rps == pytest.approx(expected_ratio)
+
+    def test_rate_scale_is_linear(self):
+        base = msr.spec("web_2", rate_scale=1.0)
+        scaled = msr.spec("web_2", rate_scale=25.0)
+        assert scaled.rate_rps == pytest.approx(25.0 * base.rate_rps)
+
+    def test_dominance_classification(self):
+        assert msr.spec("prxy_0").is_write_dominated
+        assert msr.spec("rsrch_0").is_write_dominated
+        assert not msr.spec("src_1").is_write_dominated
+        assert not msr.spec("web_2").is_write_dominated
+
+    def test_footprint_parameter_respected(self):
+        s = msr.spec("mds_0", footprint_pages=512)
+        assert s.footprint_pages == 512
+        reqs = generate(s, 500, workload_id=0, seed=0)
+        assert all(r.lpn + r.length <= 512 for r in reqs)

@@ -1,0 +1,96 @@
+"""Trace analysis."""
+
+import pytest
+
+from repro.ssd import IORequest, OpType
+from repro.workloads import WorkloadSpec, analyze, generate, per_workload
+
+
+class TestAnalyze:
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            analyze([])
+
+    def test_counts_and_mix(self):
+        reqs = [
+            IORequest(arrival_us=0.0, workload_id=0, op=OpType.WRITE, lpn=0, length=2),
+            IORequest(arrival_us=10.0, workload_id=0, op=OpType.READ, lpn=2, length=1),
+            IORequest(arrival_us=20.0, workload_id=0, op=OpType.READ, lpn=3, length=1),
+        ]
+        stats = analyze(reqs)
+        assert stats.requests == 3
+        assert stats.pages == 4
+        assert stats.write_ratio == pytest.approx(1 / 3)
+        assert stats.duration_us == 20.0
+        assert stats.rate_rps == pytest.approx(3 / 20e-6)
+
+    def test_sequentiality_detection(self):
+        reqs = [
+            IORequest(arrival_us=float(i), workload_id=0, op=OpType.READ,
+                      lpn=i * 2, length=2)
+            for i in range(10)
+        ]
+        assert analyze(reqs).sequential_fraction == 1.0
+
+    def test_recovers_generator_statistics(self):
+        spec = WorkloadSpec(
+            name="t",
+            write_ratio=0.7,
+            rate_rps=5000,
+            mean_request_pages=2.0,
+            sequential_fraction=0.4,
+            footprint_pages=4096,
+        )
+        reqs = generate(spec, 4000, workload_id=0, seed=1)
+        stats = analyze(reqs)
+        assert stats.write_ratio == pytest.approx(0.7, abs=0.03)
+        assert stats.rate_rps == pytest.approx(5000, rel=0.1)
+        assert stats.mean_request_pages == pytest.approx(2.0, rel=0.15)
+        assert stats.sequential_fraction == pytest.approx(0.4, abs=0.07)
+        assert stats.footprint_pages <= 4096
+
+    def test_burstiness_raises_cv(self):
+        smooth = generate(
+            WorkloadSpec(name="s", write_ratio=0.5, rate_rps=5000,
+                         footprint_pages=1024, burstiness=1.0),
+            3000, workload_id=0, seed=2,
+        )
+        bursty = generate(
+            WorkloadSpec(name="b", write_ratio=0.5, rate_rps=5000,
+                         footprint_pages=1024, burstiness=4.0),
+            3000, workload_id=0, seed=2,
+        )
+        assert analyze(bursty).arrival_cv > analyze(smooth).arrival_cv
+
+    def test_skew_raises_hot_decile_share(self):
+        flat = generate(
+            WorkloadSpec(name="f", write_ratio=0.5, rate_rps=5000,
+                         footprint_pages=2048, skew=0.0,
+                         sequential_fraction=0.0),
+            4000, workload_id=0, seed=3,
+        )
+        hot = generate(
+            WorkloadSpec(name="h", write_ratio=0.5, rate_rps=5000,
+                         footprint_pages=2048, skew=2.0,
+                         sequential_fraction=0.0),
+            4000, workload_id=0, seed=3,
+        )
+        assert analyze(hot).top_decile_share > analyze(flat).top_decile_share
+
+    def test_describe(self):
+        reqs = [IORequest(arrival_us=0.0, workload_id=0, op=OpType.READ, lpn=0),
+                IORequest(arrival_us=5.0, workload_id=0, op=OpType.READ, lpn=1)]
+        assert "2 reqs" in analyze(reqs).describe()
+
+
+class TestPerWorkload:
+    def test_splits_by_tenant(self):
+        reqs = [
+            IORequest(arrival_us=0.0, workload_id=0, op=OpType.READ, lpn=0),
+            IORequest(arrival_us=1.0, workload_id=1, op=OpType.WRITE, lpn=0),
+            IORequest(arrival_us=2.0, workload_id=1, op=OpType.WRITE, lpn=1),
+        ]
+        stats = per_workload(reqs)
+        assert set(stats) == {0, 1}
+        assert stats[0].requests == 1
+        assert stats[1].write_ratio == 1.0

@@ -1,0 +1,140 @@
+"""Synthetic trace generator: statistical and structural properties."""
+
+import numpy as np
+import pytest
+
+from repro.workloads import WorkloadSpec, generate, generate_arrays
+
+
+def spec(**kwargs):
+    defaults = dict(name="t", write_ratio=0.5, rate_rps=10_000.0, footprint_pages=4096)
+    defaults.update(kwargs)
+    return WorkloadSpec(**defaults)
+
+
+class TestStructure:
+    def test_count_and_ids(self):
+        reqs = generate(spec(), 100, workload_id=3, seed=0)
+        assert len(reqs) == 100
+        assert all(r.workload_id == 3 for r in reqs)
+
+    def test_zero_count(self):
+        assert generate(spec(), 0, workload_id=0, seed=0) == []
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(ValueError):
+            generate(spec(), -1, workload_id=0)
+
+    def test_arrivals_increase(self):
+        reqs = generate(spec(), 200, workload_id=0, seed=1)
+        arrivals = [r.arrival_us for r in reqs]
+        assert arrivals == sorted(arrivals)
+        assert arrivals[0] > 0
+
+    def test_start_offset(self):
+        reqs = generate(spec(), 10, workload_id=0, seed=1, start_us=5000.0)
+        assert all(r.arrival_us > 5000.0 for r in reqs)
+
+    def test_requests_stay_in_footprint(self):
+        s = spec(footprint_pages=256, max_request_pages=8)
+        for r in generate(s, 500, workload_id=0, seed=2):
+            assert 0 <= r.lpn
+            assert r.lpn + r.length <= 256
+
+    def test_determinism_per_seed(self):
+        a = generate(spec(), 50, workload_id=0, seed=7)
+        b = generate(spec(), 50, workload_id=0, seed=7)
+        assert [(r.arrival_us, r.lpn, int(r.op)) for r in a] == [
+            (r.arrival_us, r.lpn, int(r.op)) for r in b
+        ]
+
+    def test_different_seeds_differ(self):
+        a = generate(spec(), 50, workload_id=0, seed=1)
+        b = generate(spec(), 50, workload_id=0, seed=2)
+        assert [r.lpn for r in a] != [r.lpn for r in b]
+
+
+class TestStatistics:
+    def test_write_ratio_matches_spec(self):
+        for ratio in (0.0, 0.25, 0.9, 1.0):
+            reqs = generate(spec(write_ratio=ratio), 2000, workload_id=0, seed=3)
+            writes = sum(1 for r in reqs if not r.is_read)
+            assert writes / len(reqs) == pytest.approx(ratio, abs=0.04)
+
+    def test_arrival_rate_matches_spec(self):
+        s = spec(rate_rps=5000.0)
+        reqs = generate(s, 5000, workload_id=0, seed=4)
+        duration_s = reqs[-1].arrival_us / 1e6
+        assert duration_s == pytest.approx(1.0, rel=0.1)
+
+    def test_mean_size_tracks_spec(self):
+        s = spec(mean_request_pages=3.0, max_request_pages=64)
+        reqs = generate(s, 5000, workload_id=0, seed=5)
+        mean = np.mean([r.length for r in reqs])
+        assert mean == pytest.approx(3.0, rel=0.15)
+
+    def test_unit_size_when_mean_is_one(self):
+        reqs = generate(spec(mean_request_pages=1.0), 100, workload_id=0, seed=6)
+        assert all(r.length == 1 for r in reqs)
+
+    def test_max_size_respected(self):
+        s = spec(mean_request_pages=8.0, max_request_pages=16)
+        assert all(
+            r.length <= 16 for r in generate(s, 2000, workload_id=0, seed=7)
+        )
+
+    def test_sequential_fraction_creates_runs(self):
+        seq = generate(
+            spec(sequential_fraction=0.95, mean_request_pages=1.0),
+            1000,
+            workload_id=0,
+            seed=8,
+        )
+        rand = generate(
+            spec(sequential_fraction=0.0, mean_request_pages=1.0),
+            1000,
+            workload_id=0,
+            seed=8,
+        )
+
+        def continuation_rate(reqs):
+            hits = sum(
+                1
+                for a, b in zip(reqs, reqs[1:])
+                if b.lpn == a.lpn + a.length
+            )
+            return hits / (len(reqs) - 1)
+
+        assert continuation_rate(seq) > 0.7
+        assert continuation_rate(rand) < 0.2
+
+    def test_skew_concentrates_accesses(self):
+        flat = generate(spec(skew=0.0), 4000, workload_id=0, seed=9)
+        hot = generate(spec(skew=2.5, sequential_fraction=0.0), 4000, workload_id=0, seed=9)
+
+        def top_decile_share(reqs, footprint=4096):
+            counts = np.bincount([r.lpn for r in reqs], minlength=footprint)
+            counts.sort()
+            return counts[-footprint // 10 :].sum() / counts.sum()
+
+        assert top_decile_share(hot) > top_decile_share(flat)
+
+    def test_burstiness_increases_gap_variance(self):
+        smooth = generate_arrays(spec(burstiness=1.0), 4000, workload_id=0, seed=10)
+        bursty = generate_arrays(spec(burstiness=4.0), 4000, workload_id=0, seed=10)
+        gaps_smooth = np.diff(smooth["arrival_us"])
+        gaps_bursty = np.diff(bursty["arrival_us"])
+        cv_smooth = gaps_smooth.std() / gaps_smooth.mean()
+        cv_bursty = gaps_bursty.std() / gaps_bursty.mean()
+        assert cv_bursty > cv_smooth
+
+
+class TestArraysAPI:
+    def test_columns_align(self):
+        cols = generate_arrays(spec(), 64, workload_id=0, seed=0)
+        n = {len(v) for v in cols.values()}
+        assert n == {64}
+
+    def test_empty(self):
+        cols = generate_arrays(spec(), 0, workload_id=0, seed=0)
+        assert all(len(v) == 0 for v in cols.values())
