@@ -22,15 +22,46 @@ from dataclasses import dataclass
 from typing import Iterable, Sequence
 
 from ..ssd.config import SSDConfig
+from ..ssd.fastmodel import fast_simulate
 from ..ssd.metrics import SimulationResult
-from ..ssd.request import IORequest
+from ..ssd.request import IORequest, OpType
 from ..ssd.simulator import SSDSimulator
 from .allocator import ChannelAllocator, verified_allocate
 from .features import FeatureVector, FeaturesCollector
 from .hybrid import PagePolicy, page_modes_for
 from .strategies import Strategy
 
-__all__ = ["KeeperRun", "PeriodicRun", "SSDKeeper"]
+__all__ = ["KeeperDecision", "KeeperRun", "PeriodicRun", "SSDKeeper"]
+
+
+@dataclass
+class KeeperDecision:
+    """Structured log record of one keeper decision (observability).
+
+    ``predicted_mean_us`` is the fast-model estimate of the chosen
+    strategy's mean request latency on the observed window (filled when
+    the keeper has the window's requests, i.e. one-shot runs with
+    observability attached); ``realised_mean_us`` is the measured mean —
+    per adaptation window in periodic runs, over the whole run for the
+    one-shot workflow.
+    """
+
+    time_us: float
+    features: FeatureVector
+    strategy: str
+    window_requests: int
+    predicted_mean_us: float | None = None
+    realised_mean_us: float | None = None
+
+    def to_dict(self) -> dict:
+        return {
+            "time_us": self.time_us,
+            "features": self.features.to_array().tolist(),
+            "strategy": self.strategy,
+            "window_requests": self.window_requests,
+            "predicted_mean_us": self.predicted_mean_us,
+            "realised_mean_us": self.realised_mean_us,
+        }
 
 
 @dataclass
@@ -84,6 +115,7 @@ class SSDKeeper:
         page_policy: PagePolicy = PagePolicy.HYBRID,
         record_latencies: bool = False,
         verify_top_k: int = 0,
+        obs=None,
     ) -> None:
         if collect_window_us <= 0:
             raise ValueError("collect_window_us must be positive")
@@ -104,6 +136,11 @@ class SSDKeeper:
         #: are replayed on the observed window (fast model) and the
         #: measured best is deployed.  Extension beyond the paper.
         self.verify_top_k = verify_top_k
+        #: optional :class:`repro.obs.Observability`: decisions are logged
+        #: as :class:`KeeperDecision` records, a ``keeper_switch`` trace
+        #: event marks each mid-run switch, and the underlying simulator
+        #: inherits the same sink.
+        self.obs = obs
 
     # ------------------------------------------------------------------
     def run(self, requests: Iterable[IORequest]) -> KeeperRun:
@@ -116,10 +153,12 @@ class SSDKeeper:
         observing = True
         window_requests: list[IORequest] = []
 
+        keep_window = bool(self.verify_top_k) or self.obs is not None
+
         def on_submit(req: IORequest) -> None:
             if observing and req.arrival_us < window_end:
                 collector.observe(req)
-                if self.verify_top_k:
+                if keep_window:
                     window_requests.append(req)
 
         shared = {
@@ -131,6 +170,7 @@ class SSDKeeper:
             page_modes=None,  # collection phase: traditional static placement
             record_latencies=self.record_latencies,
             on_submit=on_submit,
+            obs=self.obs,
         )
 
         decision: dict = {"features": None, "strategy": None, "at": None}
@@ -160,15 +200,67 @@ class SSDKeeper:
             decision["features"] = features
             decision["strategy"] = strategy
             decision["at"] = sim.loop.now
+            if self.obs is not None:
+                self._log_decision(
+                    sim, features, strategy, channel_sets, page_modes,
+                    window_requests,
+                )
 
         sim.loop.schedule(window_end, switch)
         result = sim.run(requests)
+        if self.obs is not None and self.obs.decisions:
+            # run-level realised latency for the one-shot decision
+            last = self.obs.decisions[-1]
+            if last.realised_mean_us is None:
+                last.realised_mean_us = result.mean_total_us
         return KeeperRun(
             result=result,
             features=decision["features"],
             strategy=decision["strategy"],
             switched_at_us=decision["at"],
         )
+
+    # ------------------------------------------------------------------
+    def _log_decision(
+        self,
+        sim: SSDSimulator,
+        features: FeatureVector,
+        strategy: Strategy,
+        channel_sets,
+        page_modes,
+        window_requests: Sequence[IORequest],
+        observed: int | None = None,
+    ) -> KeeperDecision:
+        """Record one decision: trace event + registry + decision log.
+
+        The ``keeper_switch`` trace timestamp is the simulated time the
+        reallocation took effect (== ``KeeperRun.switched_at_us``).
+        """
+        obs = self.obs
+        predicted = None
+        if window_requests:
+            replay = fast_simulate(
+                list(window_requests), self.config, channel_sets, page_modes
+            )
+            predicted = replay.mean_total_us
+        record = KeeperDecision(
+            time_us=sim.loop.now,
+            features=features,
+            strategy=strategy.label,
+            window_requests=observed if observed is not None else len(window_requests),
+            predicted_mean_us=predicted,
+        )
+        obs.decisions.append(record)
+        obs.registry.counter("keeper.switches").inc()
+        obs.trace.emit(
+            sim.loop.now, "keeper_switch", "keeper", "keeper",
+            args={
+                "strategy": strategy.label,
+                "features": features.to_array().tolist(),
+                "predicted_mean_us": predicted,
+            },
+        )
+        return record
 
     # ------------------------------------------------------------------
     def run_periodic(
@@ -206,19 +298,55 @@ class SSDKeeper:
             page_modes=None,
             record_latencies=self.record_latencies,
             on_submit=collector.observe,
+            obs=self.obs,
         )
         decisions: list[tuple[float, FeatureVector, Strategy]] = []
         last_label: str | None = None
+        obs = self.obs
+        # per-window realised latency: cumulative totals at the previous
+        # adaptation, plus the decision record the next delta belongs to
+        window_state = {"total_us": 0.0, "count": 0, "record": None}
 
         def adapt() -> None:
             nonlocal last_label
+            if obs is not None:
+                reads = sim.acc.op_totals(OpType.READ)
+                writes = sim.acc.op_totals(OpType.WRITE)
+                total = reads.total_us + writes.total_us
+                count = reads.count + writes.count
+                delta_us = total - window_state["total_us"]
+                delta_n = count - window_state["count"]
+                window_state["total_us"] = total
+                window_state["count"] = count
+                record = window_state["record"]
+                if record is not None and delta_n:
+                    record.realised_mean_us = delta_us / delta_n
+                window_state["record"] = None
             if collector.total_observed == 0:
                 return
+            observed = collector.total_observed
             features = collector.collect()
             collector.reset()
             strategy = self.allocator.allocate(features)
             decisions.append((sim.loop.now, features, strategy))
-            if strategy.label == last_label:
+            switched = strategy.label != last_label
+            if obs is not None:
+                record = KeeperDecision(
+                    time_us=sim.loop.now,
+                    features=features,
+                    strategy=strategy.label,
+                    window_requests=observed,
+                )
+                obs.decisions.append(record)
+                window_state["record"] = record
+                if switched:
+                    obs.registry.counter("keeper.switches").inc()
+                    obs.trace.emit(
+                        sim.loop.now, "keeper_switch", "keeper", "keeper",
+                        args={"strategy": strategy.label,
+                              "features": features.to_array().tolist()},
+                    )
+            if not switched:
                 return  # same allocation: nothing to switch
             last_label = strategy.label
             sim.controller.reallocate(

@@ -7,14 +7,21 @@ Usage::
     python -m repro tab3
     python -m repro fig5 --scale default
     python -m repro all --scale smoke
+    python -m repro stats --trace run.jsonl --chrome-trace run.chrome.json
+    python -m repro stats --json --metrics-out metrics.json
 
 Each experiment prints its regenerated table; expensive artifacts are
-cached under ``.repro-cache`` exactly as in the benches.
+cached under ``.repro-cache`` exactly as in the benches.  ``stats`` runs
+one fully-instrumented event-driven simulation and pretty-prints the
+metrics registry (or dumps it as JSON); ``--trace`` / ``--chrome-trace``
+export the structured event trace as JSONL and in Chrome trace format
+(loadable in ``chrome://tracing`` or Perfetto).
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from typing import Callable
 
@@ -40,7 +47,7 @@ from .experiments import (
     tab5_allocations,
     train_all,
 )
-from .reporting import banner, format_series, format_table
+from .reporting import banner, format_metrics, format_series, format_table
 from .scale import Scale
 
 __all__ = ["main"]
@@ -215,6 +222,34 @@ def _cmd_ablations(scale: Scale) -> str:
     return "\n\n".join(parts)
 
 
+def _cmd_stats(scale: Scale, args: argparse.Namespace) -> str:
+    """Run one instrumented simulation and report/export its observability."""
+    from ..obs import Observability
+    from .experiments import stats_run
+
+    interval = args.utilization_interval
+    obs = Observability(
+        utilization_interval_us=interval if interval > 0 else None,
+    )
+    result = stats_run(scale, obs=obs)
+    notes: list[str] = []
+    if args.trace:
+        written = obs.trace.write_jsonl(args.trace)
+        notes.append(f"wrote {written} trace events to {args.trace}")
+    if args.chrome_trace:
+        written = obs.write_chrome_trace(args.chrome_trace)
+        notes.append(f"wrote chrome trace ({written} records) to {args.chrome_trace}")
+    if args.metrics_out:
+        with open(args.metrics_out, "w", encoding="utf-8") as fh:
+            json.dump(obs.export(), fh, indent=2)
+        notes.append(f"wrote metrics to {args.metrics_out}")
+    if args.json:
+        body = json.dumps(obs.export(), indent=2)
+    else:
+        body = result.summary() + "\n\n" + format_metrics(obs.registry.snapshot())
+    return "\n".join([*notes, "", body]) if notes else body
+
+
 _COMMANDS: dict[str, Callable[[Scale], str]] = {
     "info": _cmd_info,
     "fig2": _cmd_fig2,
@@ -237,8 +272,9 @@ def main(argv: list[str] | None = None) -> int:
     )
     parser.add_argument(
         "experiment",
-        choices=[*_COMMANDS, "all"],
-        help="which table/figure to regenerate ('all' runs everything)",
+        choices=[*_COMMANDS, "stats", "all"],
+        help="which table/figure to regenerate ('all' runs everything; "
+        "'stats' runs one instrumented simulation and reports its metrics)",
     )
     parser.add_argument(
         "--scale",
@@ -246,10 +282,59 @@ def main(argv: list[str] | None = None) -> int:
         choices=["smoke", "default", "paper"],
         help="experiment scale (default: $REPRO_SCALE or 'default')",
     )
+    obs_group = parser.add_argument_group("observability (stats command)")
+    obs_group.add_argument(
+        "--trace",
+        metavar="PATH",
+        default=None,
+        help="export the structured event trace as JSONL",
+    )
+    obs_group.add_argument(
+        "--chrome-trace",
+        metavar="PATH",
+        default=None,
+        help="export the trace in Chrome trace format (chrome://tracing)",
+    )
+    obs_group.add_argument(
+        "--metrics-out",
+        metavar="PATH",
+        default=None,
+        help="write the full metrics/utilization export as JSON",
+    )
+    obs_group.add_argument(
+        "--utilization-interval",
+        metavar="US",
+        type=float,
+        default=500.0,
+        help="per-channel/die utilization sampling interval in simulated "
+        "microseconds (0 disables; default 500)",
+    )
+    obs_group.add_argument(
+        "--json",
+        action="store_true",
+        help="dump the metrics export as JSON to stdout instead of tables",
+    )
     args = parser.parse_args(argv)
+    if args.utilization_interval < 0:
+        parser.error("--utilization-interval must be >= 0 (0 disables)")
+    # Fail fast on unwritable export paths: the simulation itself can take
+    # minutes at larger scales, so probe before running (append mode leaves
+    # any existing export intact if a later step dies).
+    for path in (args.trace, args.chrome_trace, args.metrics_out):
+        if path:
+            try:
+                with open(path, "a"):
+                    pass
+            except OSError as exc:
+                parser.error(f"cannot write {path}: {exc}")
     scale = Scale.from_name(args.scale) if args.scale else Scale.from_env("default")
 
     names = list(_COMMANDS) if args.experiment == "all" else [args.experiment]
+    if args.experiment == "stats":
+        print(banner("stats"))
+        print(_cmd_stats(scale, args))
+        print()
+        return 0
     for name in names:
         print(banner(name))
         print(_COMMANDS[name](scale))

@@ -518,3 +518,44 @@ def tab2_workloads(*, sample_requests: int = 20_000, seed: int = 2) -> dict:
             "rate_rps": spec.rate_rps,
         }
     return rows
+
+
+# ----------------------------------------------------------------------
+# `repro stats` — one instrumented event-driven run
+# ----------------------------------------------------------------------
+def stats_run(scale: Scale, *, obs, requests: int | None = None):
+    """Run one fully-instrumented event-driven simulation.
+
+    A four-tenant synthetic mix (two write-dominated, two read-dominated
+    tenants) plays on the small Table-I device under the Shared
+    allocation while every observability hook fires: structured tracing,
+    latency histograms, and — when ``obs.utilization_interval_us`` is
+    set — the per-channel utilization profile.  Returns the
+    :class:`~repro.ssd.metrics.SimulationResult`.
+    """
+    from ..ssd.simulator import SSDSimulator
+    from ..workloads.mixer import synthesize_mix
+
+    cfg = labeler_config()
+    rate = cfg.window_requests_max / cfg.window_s / 4
+    specs = [
+        WorkloadSpec(
+            name=name,
+            write_ratio=wr,
+            rate_rps=rate,
+            sequential_fraction=0.3,
+            skew=0.5,
+            footprint_pages=cfg.footprint_pages,
+        )
+        for name, wr in (
+            ("writer-a", 0.9), ("writer-b", 0.8),
+            ("reader-a", 0.1), ("reader-b", 0.05),
+        )
+    ]
+    total = requests if requests is not None else min(scale.mix_requests, 5000)
+    mixed = synthesize_mix(specs, total_requests=total, seed=11, name="stats")
+    channel_sets = {wid: list(range(cfg.ssd.channels)) for wid in range(4)}
+    sim = SSDSimulator(
+        cfg.ssd, channel_sets, record_latencies=True, obs=obs
+    )
+    return sim.run(mixed.requests)

@@ -10,7 +10,7 @@ from __future__ import annotations
 
 from typing import Sequence
 
-__all__ = ["format_table", "format_series", "normalize", "banner"]
+__all__ = ["format_table", "format_series", "format_metrics", "normalize", "banner"]
 
 
 def format_table(
@@ -64,6 +64,50 @@ def format_series(
         for i, x in enumerate(x_values)
     ]
     return format_table(headers, rows, title=title, float_format=float_format)
+
+
+def format_metrics(snapshot: dict, *, title: str | None = None) -> str:
+    """Render a :meth:`repro.obs.MetricsRegistry.snapshot` as tables.
+
+    Counters and gauges share one name/value table; histograms get a
+    distribution table (count, mean, tail percentiles); series are
+    summarised by length and final value so experiment reports can embed
+    the registry without dumping raw points.
+    """
+    parts: list[str] = []
+    if title:
+        parts.append(banner(title))
+    scalars = [
+        [name, value]
+        for section in ("counters", "gauges")
+        for name, value in sorted(snapshot.get(section, {}).items())
+    ]
+    if scalars:
+        parts.append(format_table(["metric", "value"], scalars, title="counters & gauges"))
+    histograms = snapshot.get("histograms", {})
+    if histograms:
+        rows = [
+            [name, h["count"], h["mean"], h["p50"], h["p95"], h["p99"], h["max"]]
+            for name, h in sorted(histograms.items())
+        ]
+        parts.append(
+            format_table(
+                ["histogram", "count", "mean", "p50", "p95", "p99", "max"],
+                rows,
+                title="latency histograms (us)",
+                float_format="{:.1f}",
+            )
+        )
+    series = snapshot.get("series", {})
+    if series:
+        rows = [
+            [name, len(s["values"]), s["values"][-1] if s["values"] else "-"]
+            for name, s in sorted(series.items())
+        ]
+        parts.append(
+            format_table(["series", "points", "last"], rows, title="series")
+        )
+    return "\n\n".join(parts) if parts else "(no metrics recorded)"
 
 
 def normalize(values: Sequence[float], reference: float | None = None) -> list[float]:

@@ -59,10 +59,15 @@ class Trainer:
         batch_size: int = 64,
         seed: int | None = None,
         weight_decay: float = 0.0,
+        obs=None,
         **optimizer_kwargs,
     ) -> None:
         self.network = network
         self.optimizer = get_optimizer(optimizer, **optimizer_kwargs)
+        #: optional :class:`repro.obs.Observability`: per-epoch loss,
+        #: test accuracy, learning rate, and wall-time are published as
+        #: ``train.*`` series through the same registry the simulator uses
+        self.obs = obs
         if batch_size < 1:
             raise ValueError("batch_size must be >= 1")
         if weight_decay < 0 or weight_decay >= 1:
@@ -93,8 +98,16 @@ class Trainer:
         y_train = np.asarray(y_train)
         history = History()
         params = self.network.parameters()
+        obs = self.obs
+        if obs is not None:
+            s_loss = obs.registry.series("train.loss")
+            s_acc = obs.registry.series("train.test_accuracy")
+            s_lr = obs.registry.series("train.lr")
+            s_epoch_ms = obs.registry.series("train.epoch_ms")
+            c_epochs = obs.registry.counter("train.epochs")
         start = time.perf_counter()
-        for _ in range(iterations):
+        epoch_start = start
+        for epoch in range(iterations):
             epoch_loss = 0.0
             batches = 0
             for xb, yb in minibatches(
@@ -108,6 +121,19 @@ class Trainer:
                         p *= decay
                 batches += 1
             history.loss.append(epoch_loss / max(1, batches))
+            if obs is not None:
+                now = time.perf_counter()
+                s_loss.append(epoch, history.loss[-1])
+                s_lr.append(
+                    epoch,
+                    getattr(
+                        self.optimizer, "current_rate",
+                        self.optimizer.learning_rate,
+                    ),
+                )
+                s_epoch_ms.append(epoch, (now - epoch_start) * 1e3)
+                epoch_start = now
+                c_epochs.inc()
             advance = getattr(self.optimizer, "advance", None)
             if advance is not None:
                 advance()  # scheduled optimizers move to the next iteration's rate
@@ -115,9 +141,13 @@ class Trainer:
                 test_loss, test_acc = self.network.evaluate(x_test, y_test)
                 history.test_loss.append(test_loss)
                 history.test_accuracy.append(test_acc)
+                if obs is not None:
+                    s_acc.append(epoch, test_acc)
             if early_stop_loss is not None and history.loss[-1] < early_stop_loss:
                 break
         history.training_time_ms = (time.perf_counter() - start) * 1e3
+        if obs is not None:
+            obs.registry.gauge("train.time_ms").set(history.training_time_ms)
         return history
 
 
@@ -132,11 +162,13 @@ def train(
     x_test: np.ndarray | None = None,
     y_test: np.ndarray | None = None,
     seed: int | None = None,
+    obs=None,
     **optimizer_kwargs,
 ) -> History:
     """Functional one-shot wrapper around :class:`Trainer`."""
     trainer = Trainer(
-        network, optimizer, batch_size=batch_size, seed=seed, **optimizer_kwargs
+        network, optimizer, batch_size=batch_size, seed=seed, obs=obs,
+        **optimizer_kwargs,
     )
     return trainer.fit(
         x_train,

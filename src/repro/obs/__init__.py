@@ -1,0 +1,126 @@
+"""``repro.obs`` — zero-dependency observability subsystem.
+
+Three pillars, bundled by the :class:`Observability` facade:
+
+* **metrics registry** (:mod:`repro.obs.registry`) — counters, gauges,
+  fixed-bucket latency histograms (p50/p95/p99), and series that the
+  simulator, FTL, GC, buffer, fast model, keeper, and training loop
+  publish into;
+* **structured tracing** (:mod:`repro.obs.trace`,
+  :mod:`repro.obs.chrometrace`) — ring-buffered event records with JSONL
+  and ``chrome://tracing`` exporters;
+* **utilization profiling** (:mod:`repro.obs.profiler`) — per-channel /
+  per-die busy-fraction and queue-depth time series on a configurable
+  simulated-time interval.
+
+Everything is opt-in: components take ``obs=None`` and pay at most one
+``is not None`` branch per hot-path event when disabled.  Enable with::
+
+    from repro.obs import Observability
+    obs = Observability(utilization_interval_us=500.0)
+    sim = SSDSimulator(config, channel_sets, obs=obs)
+    result = sim.run(trace)
+    obs.trace.write_jsonl("run.jsonl")
+    obs.write_chrome_trace("run.chrome.json")
+    print(obs.registry.to_json(indent=2))
+"""
+
+from __future__ import annotations
+
+from .chrometrace import to_chrome_trace, write_chrome_trace
+from .profiler import UtilizationProfiler
+from .registry import (
+    DEFAULT_LATENCY_BUCKETS_US,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    Series,
+)
+from .trace import (
+    EVENT_NAMES,
+    NULL_RECORDER,
+    NullRecorder,
+    TraceEvent,
+    TraceRecorder,
+    match_pairs,
+)
+
+__all__ = [
+    "Observability",
+    "MetricsRegistry",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "Series",
+    "DEFAULT_LATENCY_BUCKETS_US",
+    "TraceRecorder",
+    "TraceEvent",
+    "NullRecorder",
+    "NULL_RECORDER",
+    "EVENT_NAMES",
+    "match_pairs",
+    "UtilizationProfiler",
+    "to_chrome_trace",
+    "write_chrome_trace",
+]
+
+
+class Observability:
+    """Bundle of registry + trace recorder + profiling config.
+
+    Parameters
+    ----------
+    registry:
+        Existing registry to publish into (default: a fresh one).
+    trace:
+        ``True`` (default) records events into a ring buffer; ``False``
+        installs the no-op recorder (metrics only); or pass a
+        pre-configured :class:`TraceRecorder`.
+    trace_capacity / trace_sample_every:
+        Ring-buffer size and 1-in-N sampling for the default recorder.
+    utilization_interval_us:
+        When set, the simulator attaches a :class:`UtilizationProfiler`
+        sampling every that many simulated microseconds (found afterwards
+        on :attr:`profiler`).
+    """
+
+    def __init__(
+        self,
+        *,
+        registry: MetricsRegistry | None = None,
+        trace: "bool | TraceRecorder" = True,
+        trace_capacity: int = 65_536,
+        trace_sample_every: int = 1,
+        utilization_interval_us: float | None = None,
+    ) -> None:
+        self.registry = registry if registry is not None else MetricsRegistry()
+        if isinstance(trace, (TraceRecorder, NullRecorder)):
+            self.trace = trace
+        elif trace:
+            self.trace = TraceRecorder(
+                capacity=trace_capacity, sample_every=trace_sample_every
+            )
+        else:
+            self.trace = NULL_RECORDER
+        if utilization_interval_us is not None and utilization_interval_us <= 0:
+            raise ValueError("utilization_interval_us must be positive")
+        self.utilization_interval_us = utilization_interval_us
+        #: attached by the simulator when profiling is enabled
+        self.profiler: UtilizationProfiler | None = None
+        #: keeper decision records (:class:`repro.core.keeper.KeeperDecision`)
+        self.decisions: list = []
+
+    # ------------------------------------------------------------------
+    def write_chrome_trace(self, path) -> int:
+        """Export recorded events in Chrome trace format; returns count."""
+        return write_chrome_trace(self.trace.events(), path)
+
+    def export(self) -> dict:
+        """Registry snapshot plus the utilization profile (if any)."""
+        out = self.registry.snapshot()
+        if self.profiler is not None:
+            out["utilization"] = self.profiler.to_dict()
+        if self.decisions:
+            out["keeper_decisions"] = [d.to_dict() for d in self.decisions]
+        return out

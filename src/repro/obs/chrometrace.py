@@ -1,0 +1,79 @@
+"""Chrome trace format exporter.
+
+Converts recorded :class:`~repro.obs.trace.TraceEvent` streams into the
+JSON the ``chrome://tracing`` viewer and Perfetto load: a top-level
+``{"traceEvents": [...]}`` object whose entries use the Trace Event
+Format (``ph`` = ``"X"`` complete events for spans with a known
+duration, ``"i"`` instant events otherwise).
+
+Tracks map onto the viewer's process/thread rows: everything shares one
+``pid`` (the simulated device) and each track (``ch0``, ``die3``,
+``host``, ``keeper``…) gets its own ``tid`` plus a ``thread_name``
+metadata record so rows are labelled.  Timestamps are already in
+microseconds — exactly the unit the format expects.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Iterable
+
+from .trace import TraceEvent
+
+__all__ = ["to_chrome_trace", "write_chrome_trace"]
+
+_PID = 1
+
+
+def _track_order(track: str) -> tuple:
+    """Stable, human-friendly row order: host, channels, dies, rest."""
+    for prefix, rank in (("host", 0), ("w", 1), ("ch", 2), ("die", 3)):
+        if track.startswith(prefix):
+            suffix = track[len(prefix):]
+            num = int(suffix) if suffix.isdigit() else 0
+            return (rank, num, track)
+    return (4, 0, track)
+
+
+def to_chrome_trace(events: Iterable[TraceEvent]) -> dict:
+    """Build the ``{"traceEvents": [...]}`` document (plain dict)."""
+    events = list(events)
+    tracks = sorted({e.track or "sim" for e in events}, key=_track_order)
+    tids = {track: i + 1 for i, track in enumerate(tracks)}
+
+    out: list[dict] = [
+        {
+            "ph": "M",
+            "pid": _PID,
+            "tid": tid,
+            "name": "thread_name",
+            "args": {"name": track},
+        }
+        for track, tid in tids.items()
+    ]
+    for e in events:
+        record = {
+            "name": e.name,
+            "cat": e.cat,
+            "pid": _PID,
+            "tid": tids[e.track or "sim"],
+            "ts": e.ts_us,
+        }
+        if e.args:
+            record["args"] = e.args
+        if e.dur_us is not None:
+            record["ph"] = "X"
+            record["dur"] = e.dur_us
+        else:
+            record["ph"] = "i"
+            record["s"] = "t"  # instant scoped to its thread row
+        out.append(record)
+    return {"traceEvents": out, "displayTimeUnit": "ms"}
+
+
+def write_chrome_trace(events: Iterable[TraceEvent], path) -> int:
+    """Write the Chrome-trace JSON to ``path``; returns the event count."""
+    doc = to_chrome_trace(events)
+    with open(path, "w") as fh:
+        json.dump(doc, fh)
+    return len(doc["traceEvents"])

@@ -66,6 +66,17 @@ class BufferStats:
         total = self.write_hits + self.write_misses
         return self.write_hits / total if total else 0.0
 
+    def publish(self, registry) -> None:
+        """Copy the counters into a metrics registry under ``buffer.*``."""
+        for name in (
+            "write_hits", "write_misses", "read_hits", "read_misses",
+            "clean_evictions", "dirty_evictions",
+        ):
+            counter = registry.counter(f"buffer.{name}")
+            counter.value = getattr(self, name)
+        registry.gauge("buffer.read_hit_rate").set(self.read_hit_rate)
+        registry.gauge("buffer.write_absorb_rate").set(self.write_absorb_rate)
+
 
 @dataclass(frozen=True)
 class AccessResult:

@@ -48,13 +48,19 @@ class FTLController:
         *,
         load_fn: LoadFn | None = None,
         tenant_lpn_space: int | None = None,
+        obs=None,
     ) -> None:
         if not channel_sets:
             raise ValueError("channel_sets must name at least one workload")
         self.config = config
         self.state = FlashArrayState(config)
         self.geometry = self.state.geometry
-        self.gc = GarbageCollector(self.state)
+        #: optional :class:`repro.obs.Observability`; the controller and its
+        #: GC publish counters into ``obs.registry`` when attached
+        self.obs = obs
+        self.gc = GarbageCollector(
+            self.state, metrics=obs.registry if obs is not None else None
+        )
         self.load_fn = load_fn or _idle_load
         self.channel_sets = {wid: sorted(set(chs)) for wid, chs in channel_sets.items()}
         for wid, chs in self.channel_sets.items():
@@ -198,6 +204,8 @@ class FTLController:
         self._seed_placers = {
             wid: StaticPagePlacer(self.geometry, chs) for wid, chs in new_sets.items()
         }
+        if self.obs is not None:
+            self.obs.registry.counter("ftl.reallocations").inc()
 
     def mapped_pages(self) -> int:
         return self.state.mapped_pages()

@@ -64,9 +64,12 @@ class Resource:
     the next waiter.  ``on_grant`` callbacks receive the grant time.
     """
 
-    __slots__ = ("loop", "name", "busy", "free_at", "_waiters", "_seq", "busy_time", "grants", "wait_time")
+    __slots__ = (
+        "loop", "name", "busy", "free_at", "_waiters", "_seq",
+        "busy_time", "grants", "wait_time", "trace", "kind",
+    )
 
-    def __init__(self, loop: EventLoop, name: str = "") -> None:
+    def __init__(self, loop: EventLoop, name: str = "", kind: str = "resource") -> None:
         self.loop = loop
         self.name = name
         self.busy = False
@@ -77,6 +80,12 @@ class Resource:
         self.busy_time = 0.0
         self.grants = 0
         self.wait_time = 0.0
+        # --- observability (no-op unless a recorder is attached) ---
+        #: optional :class:`repro.obs.trace.TraceRecorder`; when set, each
+        #: grant emits ``{kind}_acquire`` (with the service duration) and
+        #: each release emits ``{kind}_release``.
+        self.trace = None
+        self.kind = kind
 
     def acquire(self, priority: tuple, duration: float, on_grant: Callable[[float], None]) -> None:
         """Request the resource for ``duration`` at ``priority`` (lower first).
@@ -105,11 +114,20 @@ class Resource:
         self.busy_time += duration
         self.grants += 1
         self.wait_time += start - enqueued
+        if self.trace is not None:
+            self.trace.emit(
+                start, f"{self.kind}_acquire", self.name, "resource",
+                dur_us=duration, args={"wait_us": start - enqueued},
+            )
         on_grant(start)
         self.loop.schedule(self.free_at, self._release)
 
     def _release(self) -> None:
         self.busy = False
+        if self.trace is not None:
+            self.trace.emit(
+                self.loop.now, f"{self.kind}_release", self.name, "resource"
+            )
         if self._waiters:
             _, _, enqueued, duration, on_grant = heapq.heappop(self._waiters)
             self._grant(self.loop.now, duration, on_grant, enqueued=enqueued)

@@ -49,8 +49,13 @@ class FastLatencyModel:
         page_modes: Mapping[int, PageAllocMode] | None = None,
         *,
         record_latencies: bool = False,
+        obs=None,
     ) -> None:
         self.config = config
+        #: optional :class:`repro.obs.Observability`; the fast model has no
+        #: event stream to trace, but it publishes request counts and
+        #: latency histograms into the registry after each run
+        self.obs = obs
         self.geometry = Geometry(config)
         self.times = ServiceTimes.from_config(config)
         self.channel_sets = {wid: sorted(set(chs)) for wid, chs in channel_sets.items()}
@@ -167,12 +172,25 @@ class FastLatencyModel:
                     continue
                 acc.set_stats(wid, op, _bulk_stats(latencies[mask], self.record_latencies))
 
-        return build_result(
+        result = build_result(
             acc,
             makespan_us=float(req_end.max()),
             requests=n_req,
             subrequests=total,
         )
+        if self.obs is not None:
+            reg = self.obs.registry
+            reg.counter("fastmodel.requests").inc(n_req)
+            reg.counter("fastmodel.subrequests").inc(total)
+            reg.gauge("fastmodel.makespan_us").set(result.makespan_us)
+            for op, name in (
+                (OpType.READ, "fastmodel.read_latency_us"),
+                (OpType.WRITE, "fastmodel.write_latency_us"),
+            ):
+                mask = req_op == int(op)
+                if mask.any():
+                    reg.histogram(name).observe_many(latencies[mask].tolist())
+        return result
 
     # ------------------------------------------------------------------
     def _timeline(
@@ -298,9 +316,11 @@ def fast_simulate(
     page_modes: Mapping[int, PageAllocMode] | None = None,
     *,
     record_latencies: bool = False,
+    obs=None,
 ) -> SimulationResult:
     """One-shot convenience wrapper around :class:`FastLatencyModel`."""
     model = FastLatencyModel(
-        config, channel_sets, page_modes, record_latencies=record_latencies
+        config, channel_sets, page_modes, record_latencies=record_latencies,
+        obs=obs,
     )
     return model.run(requests)

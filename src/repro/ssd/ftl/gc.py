@@ -32,12 +32,19 @@ class GCWorkItem:
 class GarbageCollector:
     """Greedy (min-valid-pages) victim selection per plane."""
 
-    def __init__(self, state: FlashArrayState) -> None:
+    def __init__(self, state: FlashArrayState, *, metrics=None) -> None:
         self.state = state
         #: total blocks reclaimed
         self.collections = 0
         #: total valid pages copied (write amplification numerator)
         self.pages_moved = 0
+        # observability: pre-bound registry counters (None when disabled)
+        if metrics is not None:
+            self._c_collections = metrics.counter("ftl.gc.collections")
+            self._c_pages_moved = metrics.counter("ftl.gc.pages_moved")
+        else:
+            self._c_collections = None
+            self._c_pages_moved = None
 
     def pick_victim(self, plane: PlaneState) -> int | None:
         """Sealed block with the fewest valid pages, or None if no candidate.
@@ -88,4 +95,7 @@ class GarbageCollector:
         plane.erase_block(victim)
         self.collections += 1
         self.pages_moved += moves
+        if self._c_collections is not None:
+            self._c_collections.inc()
+            self._c_pages_moved.inc(moves)
         return GCWorkItem(plane.plane_index, victim, moves)

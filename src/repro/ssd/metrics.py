@@ -11,6 +11,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
+from typing import ClassVar
 
 from .request import OpType
 
@@ -27,6 +28,12 @@ class OpStats:
     min_us: float = math.inf
     #: raw samples, kept only when the accumulator records latencies
     samples: list[float] | None = None
+    #: cached sorted view of ``samples`` (invalidated by length change)
+    _sorted: list[float] | None = field(
+        default=None, repr=False, compare=False
+    )
+
+    _PERCENTILE_RANGE_MSG: ClassVar[str] = "percentile must be in [0, 100]"
 
     def add(self, latency_us: float) -> None:
         self.count += 1
@@ -43,14 +50,21 @@ class OpStats:
         return self.total_us / self.count if self.count else 0.0
 
     def percentile(self, q: float) -> float:
-        """q-th percentile (0..100); requires recorded samples."""
+        """q-th percentile (0..100); requires recorded samples.
+
+        The sorted view is cached and reused until new samples arrive,
+        so repeated percentile queries (p50/p95/p99 in one report) sort
+        at most once.
+        """
+        if not 0 <= q <= 100:
+            raise ValueError(self._PERCENTILE_RANGE_MSG)
         if self.samples is None:
             raise RuntimeError("latencies were not recorded; pass record_latencies=True")
         if not self.samples:
             return 0.0
-        data = sorted(self.samples)
-        if not 0 <= q <= 100:
-            raise ValueError("percentile must be in [0, 100]")
+        data = self._sorted
+        if data is None or len(data) != len(self.samples):
+            data = self._sorted = sorted(self.samples)
         pos = (len(data) - 1) * q / 100.0
         lo = int(pos)
         hi = min(lo + 1, len(data) - 1)
@@ -58,18 +72,23 @@ class OpStats:
         return data[lo] * (1 - frac) + data[hi] * frac
 
     def merged(self, other: "OpStats") -> "OpStats":
+        """Combine two stat streams.
+
+        Samples survive whenever either side recorded them (merging a
+        recorded stream with a non-recorded, non-empty one keeps the
+        recorded side's samples — percentiles then describe the recorded
+        subset rather than silently disappearing).  Two empty streams
+        merge to an empty result with ``min_us`` of 0.0, not ``inf``.
+        """
+        both_empty = self.count == 0 and other.count == 0
         out = OpStats(
             count=self.count + other.count,
             total_us=self.total_us + other.total_us,
             max_us=max(self.max_us, other.max_us),
-            min_us=min(self.min_us, other.min_us),
+            min_us=0.0 if both_empty else min(self.min_us, other.min_us),
         )
-        if self.samples is not None and other.samples is not None:
-            out.samples = self.samples + other.samples
-        elif self.count == 0 and other.samples is not None:
-            out.samples = list(other.samples)
-        elif other.count == 0 and self.samples is not None:
-            out.samples = list(self.samples)
+        if self.samples is not None or other.samples is not None:
+            out.samples = list(self.samples or ()) + list(other.samples or ())
         return out
 
 
@@ -160,14 +179,24 @@ class SimulationResult:
         return pair[0].total_us + pair[1].total_us
 
     def summary(self) -> str:
-        """One-line human-readable digest."""
-        return (
+        """One-line human-readable digest.
+
+        When per-request samples were recorded (``record_latencies=True``)
+        the digest also carries the read-latency tail (p95/p99).
+        """
+        text = (
             f"{self.requests} reqs ({self.subrequests} pages) in "
             f"{self.makespan_us / 1e6:.3f}s sim-time; mean read "
             f"{self.read.mean_us:.1f}us, mean write {self.write.mean_us:.1f}us, "
             f"total latency {self.total_latency_us / 1e6:.3f}s, "
             f"GC {self.gc_collections} blocks / {self.gc_pages_moved} moves"
         )
+        if self.read.samples:
+            text += (
+                f", read p95 {self.read.percentile(95):.1f}us"
+                f" p99 {self.read.percentile(99):.1f}us"
+            )
+        return text
 
 
 def build_result(

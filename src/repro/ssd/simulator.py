@@ -57,6 +57,14 @@ class SSDSimulator:
         workload id -> page allocation mode (default STATIC for all).
     record_latencies:
         keep raw per-request latency samples (enables percentiles).
+    obs:
+        optional :class:`repro.obs.Observability`; when attached the run
+        emits structured trace events (``request_submit``,
+        ``subrequest_dispatch``, ``channel_acquire``/``release``,
+        ``gc_start``/``end``), publishes counters and latency histograms
+        into the registry, and — if ``utilization_interval_us`` is set —
+        samples per-channel/per-die utilization time series.  ``None``
+        (the default) costs one pointer test per hook.
     """
 
     def __init__(
@@ -69,6 +77,7 @@ class SSDSimulator:
         on_submit=None,
         read_priority: bool = False,
         buffer: "BufferConfig | None" = None,
+        obs=None,
     ) -> None:
         self.config = config
         #: optional callback fired with each request at its submission time
@@ -79,17 +88,32 @@ class SSDSimulator:
         self.times = ServiceTimes.from_config(config)
         self.loop = EventLoop()
         self.channels = [
-            Resource(self.loop, name=f"ch{c}") for c in range(config.channels)
+            Resource(self.loop, name=f"ch{c}", kind="channel")
+            for c in range(config.channels)
         ]
         self.dies = [
-            Resource(self.loop, name=f"die{d}") for d in range(config.dies)
+            Resource(self.loop, name=f"die{d}", kind="die")
+            for d in range(config.dies)
         ]
         self._planes_per_die = config.planes_per_die
+        self.obs = obs
+        self._trace = None
+        self._hist = None
+        if obs is not None:
+            if obs.trace.enabled:
+                self._trace = obs.trace
+                for res in (*self.channels, *self.dies):
+                    res.trace = self._trace
+            self._hist = {
+                OpType.READ: obs.registry.histogram("sim.read_latency_us"),
+                OpType.WRITE: obs.registry.histogram("sim.write_latency_us"),
+            }
         self.controller = FTLController(
             config,
             channel_sets,
             page_modes,
             load_fn=self._die_load,
+            obs=obs,
         )
         #: optional DRAM write-back buffer in front of the FTL
         self.buffer = WriteBuffer(buffer) if buffer is not None else None
@@ -147,10 +171,16 @@ class SSDSimulator:
         ordered = sorted(requests, key=lambda r: r.arrival_us)
         for req in ordered:
             self.loop.schedule(req.arrival_us, self._make_submit(req))
+        obs = self.obs
+        if obs is not None and obs.utilization_interval_us is not None and ordered:
+            from ..obs.profiler import UtilizationProfiler
+
+            obs.profiler = UtilizationProfiler(obs.utilization_interval_us)
+            obs.profiler.attach(self.loop, self.channels, self.dies)
         self.loop.run()
         if self._inflight:  # pragma: no cover - engine invariant
             raise RuntimeError(f"{len(self._inflight)} requests never completed")
-        return build_result(
+        result = build_result(
             self.acc,
             makespan_us=self.loop.now,
             requests=self.requests_done,
@@ -174,12 +204,44 @@ class SSDSimulator:
                 ),
             },
         )
+        if obs is not None:
+            self._publish_metrics(result)
+        return result
+
+    def _publish_metrics(self, result: SimulationResult) -> None:
+        """End-of-run registry publication (only when obs is attached)."""
+        reg = self.obs.registry
+        reg.counter("sim.requests").value = self.requests_done
+        reg.counter("sim.subrequests").value = self.subrequests_done
+        reg.counter("sim.events").value = self.loop.events_processed
+        reg.counter("ftl.seeded_pages").value = self.controller.seeded_pages
+        reg.gauge("sim.makespan_us").set(result.makespan_us)
+        reg.gauge("sim.total_latency_us").set(result.total_latency_us)
+        reg.gauge("sim.channel_wait_us").set(result.channel_wait_us)
+        reg.gauge("sim.die_wait_us").set(result.die_wait_us)
+        elapsed = result.makespan_us
+        for res in (*self.channels, *self.dies):
+            reg.gauge(f"util.{res.name}.busy_fraction").set(
+                res.utilization(elapsed)
+            )
+        if self.buffer is not None:
+            self.buffer.stats.publish(reg)
+        if self.obs.profiler is not None:
+            self.obs.profiler.publish(reg)
 
     # ------------------------------------------------------------------
     def _make_submit(self, req: IORequest):
         def submit() -> None:
             if self.on_submit is not None:
                 self.on_submit(req)
+            tr = self._trace
+            if tr is not None:
+                tr.emit(
+                    self.loop.now, "request_submit", f"w{req.workload_id}",
+                    "host", args={
+                        "op": req.op.name, "lpn": req.lpn, "len": req.length,
+                    },
+                )
             key = self._next_req_key
             self._next_req_key += 1
             flight = _InFlight(req)
@@ -245,6 +307,8 @@ class SSDSimulator:
         die = self._die_of_ppn(ppn)
         bus = self._channel_of_ppn(ppn)
         t = self.times
+        if self._trace is not None:
+            self._dispatch_event(wid, lpn, ppn, "read", die, bus)
 
         prio = self._read_prio
 
@@ -266,6 +330,8 @@ class SSDSimulator:
         die = self._die_of_ppn(ppn)
         bus = self._channel_of_ppn(ppn)
         t = self.times
+        if self._trace is not None:
+            self._dispatch_event(wid, lpn, ppn, "write", die, bus)
         if gc_items:
             self._charge_gc(gc_items)
 
@@ -282,13 +348,35 @@ class SSDSimulator:
 
         bus.acquire((PRIO_WRITE, self.loop.now), t.write_bus_us, bus_granted)
 
+    def _dispatch_event(self, wid, lpn, ppn, op, die, bus) -> None:
+        """Emit one ``subrequest_dispatch`` trace record (tracing only)."""
+        self._trace.emit(
+            self.loop.now, "subrequest_dispatch", bus.name, "sim",
+            args={"wid": wid, "lpn": lpn, "ppn": ppn, "op": op, "die": die.name},
+        )
+
     def _charge_gc(self, items: list[GCWorkItem]) -> None:
         """Charge copyback + erase time of reclaimed blocks to their dies."""
         t = self.times
+        tr = self._trace
         for item in items:
             die = self.dies[item.plane_index // self._planes_per_die]
             duration = item.moves * t.move_die_us + t.erase_us
-            die.acquire((PRIO_GC, self.loop.now), duration, lambda _start: None)
+            if tr is None:
+                die.acquire((PRIO_GC, self.loop.now), duration, lambda _start: None)
+            else:
+                def on_grant(start, die=die, item=item, duration=duration):
+                    tr.emit(
+                        start, "gc_start", die.name, "gc",
+                        args={"plane": item.plane_index, "block": item.block,
+                              "moves": item.moves},
+                    )
+                    self.loop.schedule(
+                        start + duration,
+                        lambda: tr.emit(self.loop.now, "gc_end", die.name, "gc"),
+                    )
+
+                die.acquire((PRIO_GC, self.loop.now), duration, on_grant)
 
     def _complete_page(self, key: int) -> None:
         flight = self._inflight[key]
@@ -300,6 +388,8 @@ class SSDSimulator:
             req = flight.request
             req.complete_us = flight.last_end
             self.acc.add(req.workload_id, req.op, req.latency_us)
+            if self._hist is not None:
+                self._hist[req.op].observe(req.latency_us)
             del self._inflight[key]
             self.requests_done += 1
 
@@ -311,9 +401,11 @@ def simulate(
     page_modes: Mapping[int, PageAllocMode] | None = None,
     *,
     record_latencies: bool = False,
+    obs=None,
 ) -> SimulationResult:
     """One-shot convenience wrapper around :class:`SSDSimulator`."""
     sim = SSDSimulator(
-        config, channel_sets, page_modes, record_latencies=record_latencies
+        config, channel_sets, page_modes, record_latencies=record_latencies,
+        obs=obs,
     )
     return sim.run(requests)

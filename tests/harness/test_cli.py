@@ -22,6 +22,34 @@ class TestCli:
         assert main(["info", "--scale", "smoke"]) == 0
         assert "scale: smoke" in capsys.readouterr().out
 
+    def test_stats_reports_metrics(self, capsys, tmp_path):
+        jsonl = tmp_path / "trace.jsonl"
+        chrome = tmp_path / "trace.chrome.json"
+        metrics = tmp_path / "metrics.json"
+        assert main([
+            "stats", "--scale", "smoke",
+            "--trace", str(jsonl),
+            "--chrome-trace", str(chrome),
+            "--metrics-out", str(metrics),
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "counters & gauges" in out
+        assert "sim.requests" in out
+        assert "latency histograms" in out
+        assert jsonl.read_text().count("\n") > 0
+        assert "traceEvents" in chrome.read_text()
+        assert "utilization" in metrics.read_text()
+
+    def test_stats_json_mode(self, capsys):
+        import json
+
+        assert main(["stats", "--scale", "smoke", "--json",
+                     "--utilization-interval", "0"]) == 0
+        out = capsys.readouterr().out
+        doc = json.loads(out[out.index("{"):])
+        assert doc["counters"]["sim.requests"] > 0
+        assert "utilization" not in doc
+
     def test_unknown_command_rejected(self):
         with pytest.raises(SystemExit):
             main(["fig99"])

@@ -1,0 +1,64 @@
+"""Chrome trace format exporter."""
+
+import json
+
+from repro.obs import TraceEvent, to_chrome_trace, write_chrome_trace
+
+
+def sample_events():
+    return [
+        TraceEvent(0.0, "request_submit", "w0", "host", args={"op": "read"}),
+        TraceEvent(1.0, "channel_acquire", "ch0", "resource", dur_us=2.5),
+        TraceEvent(3.5, "channel_release", "ch0", "resource"),
+        TraceEvent(1.5, "die_acquire", "die2", "resource", dur_us=40.0),
+    ]
+
+
+class TestToChromeTrace:
+    def test_document_shape(self):
+        doc = to_chrome_trace(sample_events())
+        assert set(doc) == {"traceEvents", "displayTimeUnit"}
+        # 3 tracks -> 3 metadata records + 4 events
+        assert len(doc["traceEvents"]) == 7
+
+    def test_thread_names_and_stable_tids(self):
+        doc = to_chrome_trace(sample_events())
+        meta = [r for r in doc["traceEvents"] if r["ph"] == "M"]
+        names = {r["args"]["name"]: r["tid"] for r in meta}
+        assert set(names) == {"w0", "ch0", "die2"}
+        # ordering: workers before channels before dies
+        assert names["w0"] < names["ch0"] < names["die2"]
+
+    def test_duration_events_are_complete_spans(self):
+        doc = to_chrome_trace(sample_events())
+        spans = [r for r in doc["traceEvents"] if r["ph"] == "X"]
+        assert {r["name"] for r in spans} == {"channel_acquire", "die_acquire"}
+        assert all("dur" in r for r in spans)
+
+    def test_instant_events(self):
+        doc = to_chrome_trace(sample_events())
+        instants = [r for r in doc["traceEvents"] if r["ph"] == "i"]
+        assert {r["name"] for r in instants} == {
+            "request_submit",
+            "channel_release",
+        }
+        assert all(r["s"] == "t" for r in instants)
+
+    def test_events_share_one_pid_and_resolve_tids(self):
+        doc = to_chrome_trace(sample_events())
+        records = doc["traceEvents"]
+        assert len({r["pid"] for r in records}) == 1
+        meta_tids = {r["tid"] for r in records if r["ph"] == "M"}
+        event_tids = {r["tid"] for r in records if r["ph"] != "M"}
+        assert event_tids <= meta_tids
+
+    def test_empty_track_maps_to_sim(self):
+        doc = to_chrome_trace([TraceEvent(0.0, "keeper_switch")])
+        meta = [r for r in doc["traceEvents"] if r["ph"] == "M"]
+        assert meta[0]["args"]["name"] == "sim"
+
+    def test_write_round_trips(self, tmp_path):
+        path = tmp_path / "trace.json"
+        written = write_chrome_trace(sample_events(), path)
+        doc = json.loads(path.read_text())
+        assert written == len(doc["traceEvents"])

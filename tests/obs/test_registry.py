@@ -1,0 +1,141 @@
+"""Metrics registry: counters, gauges, histograms, series."""
+
+import json
+
+import pytest
+
+from repro.obs import (
+    DEFAULT_LATENCY_BUCKETS_US,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    Series,
+)
+
+
+class TestCounter:
+    def test_starts_at_zero_and_increments(self):
+        c = Counter("x")
+        assert c.value == 0
+        c.inc()
+        c.inc(5)
+        assert c.value == 6
+        assert c.snapshot() == 6
+
+
+class TestGauge:
+    def test_keeps_last_value(self):
+        g = Gauge("x")
+        g.set(1.5)
+        g.set(2.5)
+        assert g.value == 2.5
+
+
+class TestHistogram:
+    def test_counts_mean_min_max(self):
+        h = Histogram("lat")
+        for v in (1.0, 7.0, 150.0):
+            h.observe(v)
+        assert h.count == 3
+        assert h.mean == pytest.approx(158.0 / 3)
+        assert h.min == 1.0
+        assert h.max == 150.0
+
+    def test_bucket_assignment_and_overflow(self):
+        h = Histogram("lat", buckets=[10.0, 100.0])
+        h.observe(5.0)     # <= 10
+        h.observe(50.0)    # <= 100
+        h.observe(5000.0)  # overflow
+        snap = h.snapshot()
+        assert snap["buckets"] == {"10.0": 1, "100.0": 1, "+inf": 1}
+
+    def test_percentiles_bounded_by_bucket_and_extremes(self):
+        h = Histogram("lat")
+        for v in range(1, 101):
+            h.observe(float(v))
+        # p50 must land inside the bucket containing the true median (50.5)
+        assert 20.0 <= h.p50 <= 100.0
+        assert h.percentile(0) >= h.min - 1e-9
+        assert h.percentile(100) == pytest.approx(h.max)
+        assert h.p95 <= h.max
+        assert h.p99 <= h.max
+
+    def test_percentile_single_value(self):
+        h = Histogram("lat")
+        h.observe(42.0)
+        assert h.p50 == pytest.approx(42.0)
+        assert h.p99 == pytest.approx(42.0)
+
+    def test_percentile_empty_is_zero(self):
+        assert Histogram("lat").p95 == 0.0
+
+    def test_percentile_validates_range(self):
+        with pytest.raises(ValueError):
+            Histogram("lat").percentile(101)
+
+    def test_rejects_empty_buckets(self):
+        with pytest.raises(ValueError):
+            Histogram("lat", buckets=[])
+
+    def test_observe_many(self):
+        h = Histogram("lat")
+        h.observe_many([1.0, 2.0, 3.0])
+        assert h.count == 3
+
+    def test_default_buckets_are_sorted(self):
+        assert list(DEFAULT_LATENCY_BUCKETS_US) == sorted(
+            DEFAULT_LATENCY_BUCKETS_US
+        )
+
+
+class TestSeries:
+    def test_append_and_points(self):
+        s = Series("train.loss")
+        s.append(0, 1.5)
+        s.append(1, 1.2)
+        assert len(s) == 2
+        assert s.points() == [(0, 1.5), (1, 1.2)]
+
+
+class TestMetricsRegistry:
+    def test_get_or_create_returns_same_object(self):
+        reg = MetricsRegistry()
+        assert reg.counter("a") is reg.counter("a")
+        assert reg.histogram("h") is reg.histogram("h")
+
+    def test_kind_mismatch_raises(self):
+        reg = MetricsRegistry()
+        reg.counter("a")
+        with pytest.raises(TypeError):
+            reg.gauge("a")
+
+    def test_get_without_creation(self):
+        reg = MetricsRegistry()
+        assert reg.get("missing") is None
+        c = reg.counter("a")
+        assert reg.get("a") is c
+
+    def test_names_sorted(self):
+        reg = MetricsRegistry()
+        reg.counter("b")
+        reg.gauge("a")
+        assert reg.names() == ["a", "b"]
+
+    def test_snapshot_sections(self):
+        reg = MetricsRegistry()
+        reg.counter("c").inc(3)
+        reg.gauge("g").set(1.5)
+        reg.histogram("h").observe(10.0)
+        reg.series("s").append(0, 2.0)
+        snap = reg.snapshot()
+        assert snap["counters"] == {"c": 3}
+        assert snap["gauges"] == {"g": 1.5}
+        assert snap["histograms"]["h"]["count"] == 1
+        assert snap["series"]["s"] == {"x": [0], "values": [2.0]}
+
+    def test_to_json_round_trips(self):
+        reg = MetricsRegistry()
+        reg.counter("c").inc()
+        doc = json.loads(reg.to_json())
+        assert doc["counters"]["c"] == 1
