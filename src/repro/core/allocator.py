@@ -77,6 +77,29 @@ class ChannelAllocator:
             self.space.n_channels, features.write_dominated()
         )
 
+    def prediction_health(self, features: FeatureVector) -> str | None:
+        """Sanity-check one inference; returns the problem or ``None`` if OK.
+
+        The keeper calls this before trusting :meth:`allocate` so a degraded
+        network (NaN weights after a botched checkpoint load, saturated
+        scaler, out-of-range argmax) triggers graceful fallback instead of
+        deploying garbage.  Pure probe: nothing is appended to the decision
+        log.
+        """
+        x = features.to_array()
+        if not np.all(np.isfinite(x)):
+            return "non-finite feature vector"
+        scaled = self.learner.scaler.transform(x[None, :])
+        if not np.all(np.isfinite(scaled)):
+            return "non-finite scaled features"
+        logits = self.learner.network.forward(scaled)[0]
+        if not np.all(np.isfinite(logits)):
+            return "non-finite network output"
+        index = int(np.argmax(logits))
+        if not 0 <= index < len(self.space):
+            return f"predicted class {index} outside strategy space"
+        return None
+
     def top_k(self, features: FeatureVector, k: int) -> list[Strategy]:
         """The k most likely strategies by network logit, best first."""
         if k < 1:
@@ -104,6 +127,7 @@ def verified_allocate(
     *,
     top_k: int = 3,
     page_policy: PagePolicy = PagePolicy.HYBRID,
+    faults=None,
 ) -> Strategy:
     """Pick among the network's top-k strategies by replaying the window.
 
@@ -121,7 +145,7 @@ def verified_allocate(
     best_cost = float("inf")
     for strategy in candidates:
         sets = strategy.channel_sets(config.channels, write_dominated)
-        result = fast_simulate(list(window), config, sets, page_modes)
+        result = fast_simulate(list(window), config, sets, page_modes, faults=faults)
         cost = result.write.mean_us + result.read.mean_us
         if cost < best_cost:
             best_cost = cost

@@ -23,13 +23,14 @@ from typing import Iterable, Sequence
 
 from ..ssd.config import SSDConfig
 from ..ssd.fastmodel import fast_simulate
+from ..ssd.faults import FaultConfig
 from ..ssd.metrics import SimulationResult
 from ..ssd.request import IORequest, OpType
 from ..ssd.simulator import SSDSimulator
 from .allocator import ChannelAllocator, verified_allocate
 from .features import FeatureVector, FeaturesCollector
 from .hybrid import PagePolicy, page_modes_for
-from .strategies import Strategy
+from .strategies import Strategy, StrategyKind
 
 __all__ = ["KeeperDecision", "KeeperRun", "PeriodicRun", "SSDKeeper"]
 
@@ -52,6 +53,9 @@ class KeeperDecision:
     window_requests: int
     predicted_mean_us: float | None = None
     realised_mean_us: float | None = None
+    #: non-``None`` when this decision was a graceful degradation (the model
+    #: was bypassed); holds the trigger, e.g. ``"unhealthy prediction: ..."``
+    fallback_reason: str | None = None
 
     def to_dict(self) -> dict:
         return {
@@ -61,6 +65,7 @@ class KeeperDecision:
             "window_requests": self.window_requests,
             "predicted_mean_us": self.predicted_mean_us,
             "realised_mean_us": self.realised_mean_us,
+            "fallback_reason": self.fallback_reason,
         }
 
 
@@ -72,6 +77,9 @@ class KeeperRun:
     features: FeatureVector | None
     strategy: Strategy | None
     switched_at_us: float | None
+    #: set when the deployed strategy came from graceful degradation rather
+    #: than the model (see :meth:`SSDKeeper._decide`)
+    fallback_reason: str | None = None
 
     @property
     def switched(self) -> bool:
@@ -116,11 +124,15 @@ class SSDKeeper:
         record_latencies: bool = False,
         verify_top_k: int = 0,
         obs=None,
+        faults: FaultConfig | None = None,
+        fallback_error_rate: float = 0.5,
     ) -> None:
         if collect_window_us <= 0:
             raise ValueError("collect_window_us must be positive")
         if verify_top_k < 0:
             raise ValueError("verify_top_k must be non-negative")
+        if not 0.0 < fallback_error_rate <= 1.0:
+            raise ValueError("fallback_error_rate must be in (0, 1]")
         if config.channels != allocator.space.n_channels:
             raise ValueError(
                 f"device has {config.channels} channels, allocator is trained "
@@ -141,6 +153,72 @@ class SSDKeeper:
         #: event marks each mid-run switch, and the underlying simulator
         #: inherits the same sink.
         self.obs = obs
+        #: optional :class:`repro.ssd.faults.FaultConfig` applied to the
+        #: underlying device (and to fast-model replays, as an expected-value
+        #: derating)
+        self.faults = faults
+        #: graceful-degradation trigger: when the unhealthiest channel's
+        #: observed error rate reaches this fraction, the keeper stops
+        #: trusting the model and falls back (see :meth:`_decide`)
+        self.fallback_error_rate = fallback_error_rate
+
+    # ------------------------------------------------------------------
+    def _decide(
+        self,
+        sim: SSDSimulator,
+        features: FeatureVector,
+        window_requests: Sequence[IORequest],
+        last_good: Strategy | None = None,
+    ) -> tuple[Strategy, str | None]:
+        """Choose the strategy to deploy, degrading gracefully when needed.
+
+        Two triggers bypass the model entirely: a channel whose observed
+        error rate has reached ``fallback_error_rate`` (the window's
+        features describe a device the training distribution never saw), and
+        an unhealthy forward pass (NaN/out-of-range prediction).  Either way
+        the keeper deploys ``last_good`` — the last strategy a healthy
+        decision produced — or the traditional Shared allocation when there
+        is none, and logs a ``keeper_fallback`` event.
+
+        Returns ``(strategy, fallback_reason)``; ``fallback_reason`` is
+        ``None`` on the normal path.
+        """
+        reason = None
+        if sim.faults is not None:
+            channel, rate = sim.faults.worst_channel()
+            if channel >= 0 and rate >= self.fallback_error_rate:
+                reason = (
+                    f"channel {channel} error rate {rate:.3f} >= "
+                    f"{self.fallback_error_rate:.3f}"
+                )
+        if reason is None:
+            health = self.allocator.prediction_health(features)
+            if health is not None:
+                reason = f"unhealthy prediction: {health}"
+        if reason is not None:
+            strategy = (
+                last_good if last_good is not None else Strategy(StrategyKind.SHARED)
+            )
+            if self.obs is not None:
+                self.obs.registry.counter("keeper.fallbacks").inc()
+                self.obs.trace.emit(
+                    sim.loop.now, "keeper_fallback", "keeper", "keeper",
+                    args={"strategy": strategy.label, "reason": reason},
+                )
+            return strategy, reason
+        if self.verify_top_k:
+            strategy = verified_allocate(
+                self.allocator,
+                features,
+                window_requests,
+                self.config,
+                top_k=self.verify_top_k,
+                page_policy=self.page_policy,
+                faults=self.faults,
+            )
+        else:
+            strategy = self.allocator.allocate(features)
+        return strategy, None
 
     # ------------------------------------------------------------------
     def run(self, requests: Iterable[IORequest]) -> KeeperRun:
@@ -171,9 +249,12 @@ class SSDKeeper:
             record_latencies=self.record_latencies,
             on_submit=on_submit,
             obs=self.obs,
+            faults=self.faults,
         )
 
-        decision: dict = {"features": None, "strategy": None, "at": None}
+        decision: dict = {
+            "features": None, "strategy": None, "at": None, "fallback": None,
+        }
 
         def switch() -> None:
             nonlocal observing
@@ -181,17 +262,9 @@ class SSDKeeper:
             if collector.total_observed == 0:
                 return  # nothing observed: stay on Shared
             features = collector.collect()
-            if self.verify_top_k:
-                strategy = verified_allocate(
-                    self.allocator,
-                    features,
-                    window_requests,
-                    self.config,
-                    top_k=self.verify_top_k,
-                    page_policy=self.page_policy,
-                )
-            else:
-                strategy = self.allocator.allocate(features)
+            strategy, fallback_reason = self._decide(
+                sim, features, window_requests
+            )
             channel_sets = strategy.channel_sets(
                 self.config.channels, features.write_dominated()
             )
@@ -200,10 +273,11 @@ class SSDKeeper:
             decision["features"] = features
             decision["strategy"] = strategy
             decision["at"] = sim.loop.now
+            decision["fallback"] = fallback_reason
             if self.obs is not None:
                 self._log_decision(
                     sim, features, strategy, channel_sets, page_modes,
-                    window_requests,
+                    window_requests, fallback_reason=fallback_reason,
                 )
 
         sim.loop.schedule(window_end, switch)
@@ -218,6 +292,7 @@ class SSDKeeper:
             features=decision["features"],
             strategy=decision["strategy"],
             switched_at_us=decision["at"],
+            fallback_reason=decision["fallback"],
         )
 
     # ------------------------------------------------------------------
@@ -230,6 +305,7 @@ class SSDKeeper:
         page_modes,
         window_requests: Sequence[IORequest],
         observed: int | None = None,
+        fallback_reason: str | None = None,
     ) -> KeeperDecision:
         """Record one decision: trace event + registry + decision log.
 
@@ -240,7 +316,8 @@ class SSDKeeper:
         predicted = None
         if window_requests:
             replay = fast_simulate(
-                list(window_requests), self.config, channel_sets, page_modes
+                list(window_requests), self.config, channel_sets, page_modes,
+                faults=self.faults,
             )
             predicted = replay.mean_total_us
         record = KeeperDecision(
@@ -249,6 +326,7 @@ class SSDKeeper:
             strategy=strategy.label,
             window_requests=observed if observed is not None else len(window_requests),
             predicted_mean_us=predicted,
+            fallback_reason=fallback_reason,
         )
         obs.decisions.append(record)
         obs.registry.counter("keeper.switches").inc()
@@ -299,16 +377,18 @@ class SSDKeeper:
             record_latencies=self.record_latencies,
             on_submit=collector.observe,
             obs=self.obs,
+            faults=self.faults,
         )
         decisions: list[tuple[float, FeatureVector, Strategy]] = []
         last_label: str | None = None
+        last_good: Strategy | None = None
         obs = self.obs
         # per-window realised latency: cumulative totals at the previous
         # adaptation, plus the decision record the next delta belongs to
         window_state = {"total_us": 0.0, "count": 0, "record": None}
 
         def adapt() -> None:
-            nonlocal last_label
+            nonlocal last_label, last_good
             if obs is not None:
                 reads = sim.acc.op_totals(OpType.READ)
                 writes = sim.acc.op_totals(OpType.WRITE)
@@ -327,7 +407,11 @@ class SSDKeeper:
             observed = collector.total_observed
             features = collector.collect()
             collector.reset()
-            strategy = self.allocator.allocate(features)
+            strategy, fallback_reason = self._decide(
+                sim, features, (), last_good=last_good
+            )
+            if fallback_reason is None:
+                last_good = strategy
             decisions.append((sim.loop.now, features, strategy))
             switched = strategy.label != last_label
             if obs is not None:
@@ -336,6 +420,7 @@ class SSDKeeper:
                     features=features,
                     strategy=strategy.label,
                     window_requests=observed,
+                    fallback_reason=fallback_reason,
                 )
                 obs.decisions.append(record)
                 window_state["record"] = record
@@ -392,5 +477,6 @@ class SSDKeeper:
             channel_sets,
             page_modes=modes,
             record_latencies=self.record_latencies,
+            faults=self.faults,
         )
         return sim.run(requests)

@@ -9,13 +9,17 @@ Usage::
     python -m repro all --scale smoke
     python -m repro stats --trace run.jsonl --chrome-trace run.chrome.json
     python -m repro stats --json --metrics-out metrics.json
+    python -m repro faults --read-ber 0.02 --program-fail-rate 0.001
 
 Each experiment prints its regenerated table; expensive artifacts are
 cached under ``.repro-cache`` exactly as in the benches.  ``stats`` runs
 one fully-instrumented event-driven simulation and pretty-prints the
 metrics registry (or dumps it as JSON); ``--trace`` / ``--chrome-trace``
 export the structured event trace as JSONL and in Chrome trace format
-(loadable in ``chrome://tracing`` or Perfetto).
+(loadable in ``chrome://tracing`` or Perfetto).  ``faults`` is the same
+instrumented run with the seeded NAND fault model switched on
+(``--read-ber`` / ``--program-fail-rate`` / ``--erase-fail-rate`` / ...);
+the report includes the ``faults.*`` counters.
 """
 
 from __future__ import annotations
@@ -222,7 +226,7 @@ def _cmd_ablations(scale: Scale) -> str:
     return "\n\n".join(parts)
 
 
-def _cmd_stats(scale: Scale, args: argparse.Namespace) -> str:
+def _cmd_stats(scale: Scale, args: argparse.Namespace, faults=None) -> str:
     """Run one instrumented simulation and report/export its observability."""
     from ..obs import Observability
     from .experiments import stats_run
@@ -231,7 +235,7 @@ def _cmd_stats(scale: Scale, args: argparse.Namespace) -> str:
     obs = Observability(
         utilization_interval_us=interval if interval > 0 else None,
     )
-    result = stats_run(scale, obs=obs)
+    result = stats_run(scale, obs=obs, faults=faults)
     notes: list[str] = []
     if args.trace:
         written = obs.trace.write_jsonl(args.trace)
@@ -248,6 +252,24 @@ def _cmd_stats(scale: Scale, args: argparse.Namespace) -> str:
     else:
         body = result.summary() + "\n\n" + format_metrics(obs.registry.snapshot())
     return "\n".join([*notes, "", body]) if notes else body
+
+
+def _cmd_faults(scale: Scale, args: argparse.Namespace) -> str:
+    """The ``stats`` run with the seeded NAND fault model switched on."""
+    from ..ssd.faults import FaultConfig
+
+    try:
+        faults = FaultConfig(
+            seed=args.fault_seed,
+            read_ber=args.read_ber,
+            program_fail_rate=args.program_fail_rate,
+            erase_fail_rate=args.erase_fail_rate,
+            max_read_retries=args.max_read_retries,
+            wear_coupling=args.wear_coupling,
+        )
+    except ValueError as exc:
+        raise SystemExit(f"repro faults: {exc}")
+    return _cmd_stats(scale, args, faults=faults)
 
 
 _COMMANDS: dict[str, Callable[[Scale], str]] = {
@@ -272,9 +294,10 @@ def main(argv: list[str] | None = None) -> int:
     )
     parser.add_argument(
         "experiment",
-        choices=[*_COMMANDS, "stats", "all"],
+        choices=[*_COMMANDS, "stats", "faults", "all"],
         help="which table/figure to regenerate ('all' runs everything; "
-        "'stats' runs one instrumented simulation and reports its metrics)",
+        "'stats' runs one instrumented simulation and reports its metrics; "
+        "'faults' is the same run under the seeded NAND fault model)",
     )
     parser.add_argument(
         "--scale",
@@ -314,6 +337,53 @@ def main(argv: list[str] | None = None) -> int:
         action="store_true",
         help="dump the metrics export as JSON to stdout instead of tables",
     )
+    fault_group = parser.add_argument_group("fault injection (faults command)")
+    fault_group.add_argument(
+        "--fault-seed",
+        type=int,
+        default=1234,
+        metavar="N",
+        help="fault-model RNG seed; same seed + trace => identical run "
+        "(default 1234)",
+    )
+    fault_group.add_argument(
+        "--read-ber",
+        type=float,
+        default=0.01,
+        metavar="P",
+        help="probability a read attempt needs an ECC retry (default 0.01)",
+    )
+    fault_group.add_argument(
+        "--program-fail-rate",
+        type=float,
+        default=0.0005,
+        metavar="P",
+        help="probability one page program fails and retires its block "
+        "(default 0.0005)",
+    )
+    fault_group.add_argument(
+        "--erase-fail-rate",
+        type=float,
+        default=0.0005,
+        metavar="P",
+        help="probability one block erase fails and retires the block "
+        "(default 0.0005)",
+    )
+    fault_group.add_argument(
+        "--max-read-retries",
+        type=int,
+        default=3,
+        metavar="N",
+        help="ECC retries before a read is declared unrecoverable (default 3)",
+    )
+    fault_group.add_argument(
+        "--wear-coupling",
+        type=float,
+        default=0.0,
+        metavar="K",
+        help="linear wear escalation: rate *= 1 + K * block erase count "
+        "(default 0)",
+    )
     args = parser.parse_args(argv)
     if args.utilization_interval < 0:
         parser.error("--utilization-interval must be >= 0 (0 disables)")
@@ -333,6 +403,11 @@ def main(argv: list[str] | None = None) -> int:
     if args.experiment == "stats":
         print(banner("stats"))
         print(_cmd_stats(scale, args))
+        print()
+        return 0
+    if args.experiment == "faults":
+        print(banner("faults"))
+        print(_cmd_faults(scale, args))
         print()
         return 0
     for name in names:

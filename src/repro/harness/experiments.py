@@ -523,14 +523,16 @@ def tab2_workloads(*, sample_requests: int = 20_000, seed: int = 2) -> dict:
 # ----------------------------------------------------------------------
 # `repro stats` — one instrumented event-driven run
 # ----------------------------------------------------------------------
-def stats_run(scale: Scale, *, obs, requests: int | None = None):
+def stats_run(scale: Scale, *, obs, requests: int | None = None, faults=None):
     """Run one fully-instrumented event-driven simulation.
 
     A four-tenant synthetic mix (two write-dominated, two read-dominated
     tenants) plays on the small Table-I device under the Shared
     allocation while every observability hook fires: structured tracing,
     latency histograms, and — when ``obs.utilization_interval_us`` is
-    set — the per-channel utilization profile.  Returns the
+    set — the per-channel utilization profile.  ``faults`` (an optional
+    :class:`~repro.ssd.faults.FaultConfig`) switches on the seeded NAND
+    fault model.  Returns the
     :class:`~repro.ssd.metrics.SimulationResult`.
     """
     from ..ssd.simulator import SSDSimulator
@@ -556,6 +558,6 @@ def stats_run(scale: Scale, *, obs, requests: int | None = None):
     mixed = synthesize_mix(specs, total_requests=total, seed=11, name="stats")
     channel_sets = {wid: list(range(cfg.ssd.channels)) for wid in range(4)}
     sim = SSDSimulator(
-        cfg.ssd, channel_sets, record_latencies=True, obs=obs
+        cfg.ssd, channel_sets, record_latencies=True, obs=obs, faults=faults
     )
     return sim.run(mixed.requests)

@@ -13,6 +13,7 @@ Public surface:
 
 from .buffer import AccessResult, BufferConfig, BufferStats, WriteBuffer
 from .config import SSDConfig, KiB, MiB, GiB
+from .faults import FaultConfig, FaultExpectation, FaultInjector
 from .geometry import Geometry, PhysicalAddress
 from .request import IORequest, OpType, SubRequest
 from .timing import ServiceTimes
@@ -28,6 +29,9 @@ __all__ = [
     "BufferStats",
     "WriteBuffer",
     "SSDConfig",
+    "FaultConfig",
+    "FaultExpectation",
+    "FaultInjector",
     "KiB",
     "MiB",
     "GiB",

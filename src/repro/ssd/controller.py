@@ -20,7 +20,8 @@ from __future__ import annotations
 from typing import Mapping, Sequence
 
 from .config import SSDConfig
-from .ftl.gc import GarbageCollector, GCWorkItem
+from .faults import FaultInjector, FaultWorkItem
+from .ftl.gc import GarbageCollector
 from .ftl.mapping import FlashArrayState, PlaneState
 from .ftl.page_alloc import (
     LoadFn,
@@ -30,6 +31,10 @@ from .ftl.page_alloc import (
 )
 
 __all__ = ["FTLController"]
+
+#: Consecutive program failures tolerated on one plane before the write is
+#: re-dispatched to a different plane of the tenant's channel set.
+_MAX_PROGRAM_ATTEMPTS = 4
 
 
 def _idle_load(_plane_index: int) -> tuple:
@@ -49,6 +54,7 @@ class FTLController:
         load_fn: LoadFn | None = None,
         tenant_lpn_space: int | None = None,
         obs=None,
+        faults: FaultInjector | None = None,
     ) -> None:
         if not channel_sets:
             raise ValueError("channel_sets must name at least one workload")
@@ -58,8 +64,16 @@ class FTLController:
         #: optional :class:`repro.obs.Observability`; the controller and its
         #: GC publish counters into ``obs.registry`` when attached
         self.obs = obs
+        #: optional :class:`repro.ssd.faults.FaultInjector`; when attached,
+        #: programs and erases may fail and retire blocks
+        self.faults = faults
+        self._planes_per_channel = (
+            config.chips_per_channel * config.dies_per_chip * config.planes_per_die
+        )
         self.gc = GarbageCollector(
-            self.state, metrics=obs.registry if obs is not None else None
+            self.state,
+            metrics=obs.registry if obs is not None else None,
+            faults=faults,
         )
         self.load_fn = load_fn or _idle_load
         self.channel_sets = {wid: sorted(set(chs)) for wid, chs in channel_sets.items()}
@@ -79,8 +93,11 @@ class FTLController:
         self.page_modes = {
             wid: modes.get(wid, PageAllocMode.STATIC) for wid in self.channel_sets
         }
+        viable = self._plane_viable if faults is not None else None
         self._placers = {
-            wid: make_placer(self.page_modes[wid], self.geometry, chs, self._probe_load)
+            wid: make_placer(
+                self.page_modes[wid], self.geometry, chs, self._probe_load, viable
+            )
             for wid, chs in self.channel_sets.items()
         }
         # Static placers used for pre-seeding reads of never-written data,
@@ -98,6 +115,14 @@ class FTLController:
         """Dynamic-placement load key: simulator load, then plane fullness."""
         return (*self.load_fn(plane_index), -self.state.planes[plane_index].free_pages)
 
+    def _plane_viable(self, plane_index: int) -> bool:
+        """Placement health filter: planes retired down to nothing are out."""
+        return self.state.planes[plane_index].usable_pages > 0
+
+    def channel_of_plane(self, plane_index: int) -> int:
+        """Channel whose bus serves ``plane_index``."""
+        return plane_index // self._planes_per_channel
+
     def global_lpn(self, workload_id: int, lpn: int) -> int:
         """Namespace a tenant-relative LPN into the device-wide LPN space."""
         if lpn >= self.tenant_lpn_space:
@@ -108,11 +133,12 @@ class FTLController:
         return workload_id * self.tenant_lpn_space + lpn
 
     # ------------------------------------------------------------------
-    def place_write(self, workload_id: int, lpn: int) -> tuple[int, list[GCWorkItem]]:
+    def place_write(self, workload_id: int, lpn: int) -> tuple[int, list]:
         """Allocate a physical page for a write; run GC if needed.
 
-        Returns ``(ppn, gc_work)`` where ``gc_work`` carries the timing cost
-        of any blocks reclaimed as a consequence of this write.
+        Returns ``(ppn, work)`` where ``work`` carries the timing cost of
+        any blocks reclaimed by GC — and, under fault injection, of any
+        blocks retired by program failures — as a consequence of this write.
         """
         placer = self._placers.get(workload_id)
         if placer is None:
@@ -120,14 +146,80 @@ class FTLController:
         glpn = self.global_lpn(workload_id, lpn)
         plane_index = placer.place(lpn)
         plane = self.state.planes[plane_index]
-        gc_items: list[GCWorkItem] = []
+        work: list = []
         if not plane.has_free_page():
-            gc_items.extend(self.gc.collect(plane))
+            work.extend(self.gc.collect(plane))
             if not plane.has_free_page():
                 plane_index, plane = self._fallback_plane(workload_id, plane_index)
-        ppn = self.state.write(glpn, plane)
-        gc_items.extend(self.gc.maybe_collect(plane))
-        return ppn, gc_items
+        if self.faults is not None:
+            ppn, plane = self._program_with_faults(
+                glpn, workload_id, plane_index, plane, work
+            )
+        else:
+            ppn = self.state.write(glpn, plane)
+        work.extend(self.gc.maybe_collect(plane))
+        return ppn, work
+
+    # ------------------------------------------------------------------
+    def _program_with_faults(
+        self,
+        glpn: int,
+        workload_id: int,
+        plane_index: int,
+        plane: PlaneState,
+        work: list,
+    ) -> tuple[int, PlaneState]:
+        """Program ``glpn`` with the injector in the loop.
+
+        Each failed program retires the target block (valid data relocated,
+        capacity written off) and the page is re-dispatched to the plane's
+        next block; after ``_MAX_PROGRAM_ATTEMPTS`` consecutive failures —
+        or when the plane can no longer spare a replacement block — the
+        write moves to another plane of the tenant's channel set.
+        """
+        attempts = 0
+        while True:
+            channel = self.channel_of_plane(plane_index)
+            block = plane.next_program_block()
+            if not self.faults.program_fails(channel, plane.erase_count[block]):
+                return self.state.write(glpn, plane), plane
+            work.append(self._retire_program_block(plane, block, work))
+            attempts += 1
+            if attempts >= _MAX_PROGRAM_ATTEMPTS or not plane.has_free_page():
+                plane_index, plane = self._fallback_plane(workload_id, plane_index)
+                # Final dispatch is not re-drawn: the failure budget for this
+                # page is spent, and unbounded re-draws could starve a write.
+                return self.state.write(glpn, plane), plane
+
+    def _retire_program_block(
+        self, plane: PlaneState, block: int, work: list
+    ) -> FaultWorkItem:
+        """Retire ``block`` after a program failure; relocate its valid data."""
+        if block != plane.active_block:
+            # The failure hit the head of the free pool (active was full):
+            # the block is erased and empty — retire it outright.
+            plane.retire_free_block(block)
+            self.faults.note_retirement(plane.pages_per_block)
+            return FaultWorkItem(plane.plane_index, block, 0)
+        if plane.free_blocks == 0:
+            # Need a replacement active block before we can retire this one.
+            work.extend(self.gc.collect(plane))
+        programmed = plane.next_page
+        plane.begin_retire_active()  # raises if the plane is out of spares
+        mapping = self.state.mapping
+        moves = 0
+        for ppn in plane.pages_in_block(block):
+            lpn = mapping.reverse(ppn)
+            if lpn is None:
+                continue
+            mapping.unbind_ppn(ppn)
+            plane.invalidate(ppn)
+            new_ppn = plane.allocate_page()
+            mapping.bind(lpn, new_ppn)
+            moves += 1
+        plane.retire_block(block, programmed_pages=programmed)
+        self.faults.note_retirement(plane.pages_per_block)
+        return FaultWorkItem(plane.plane_index, block, moves)
 
     def resolve_read(self, workload_id: int, lpn: int) -> int:
         """Physical location of a read; pre-seeds cold data at zero time cost.
@@ -197,8 +289,11 @@ class FTLController:
             self.page_modes = {
                 wid: modes.get(wid, self.page_modes[wid]) for wid in new_sets
             }
+        viable = self._plane_viable if self.faults is not None else None
         self._placers = {
-            wid: make_placer(self.page_modes[wid], self.geometry, chs, self._probe_load)
+            wid: make_placer(
+                self.page_modes[wid], self.geometry, chs, self._probe_load, viable
+            )
             for wid, chs in new_sets.items()
         }
         self._seed_placers = {

@@ -34,10 +34,21 @@ class EventLoop:
         self.now = 0.0
         self.events_processed = 0
 
+    #: scheduling times this close below ``now`` are float-rounding residue
+    #: from summed phase durations, not logic errors; they clamp to ``now``.
+    TIME_EPSILON = 1e-9
+
     def schedule(self, when: float, callback: Callable[[], None]) -> None:
-        """Run ``callback`` at absolute time ``when`` (>= now)."""
+        """Run ``callback`` at absolute time ``when`` (>= now).
+
+        ``when`` within :data:`TIME_EPSILON` below ``now`` clamps to ``now``
+        (chained ``start + duration`` arithmetic can round a hair under the
+        current time); anything further in the past raises.
+        """
         if when < self.now:
-            raise ValueError(f"cannot schedule in the past ({when} < {self.now})")
+            if self.now - when > self.TIME_EPSILON:
+                raise ValueError(f"cannot schedule in the past ({when} < {self.now})")
+            when = self.now
         heapq.heappush(self._heap, (when, next(self._seq), callback))
 
     def run(self, until: float | None = None) -> None:

@@ -30,6 +30,7 @@ from typing import Iterable, Mapping, Sequence
 import numpy as np
 
 from .config import SSDConfig
+from .faults import FaultConfig, FaultExpectation
 from .ftl.page_alloc import PageAllocMode
 from .geometry import Geometry
 from .metrics import LatencyAccumulator, SimulationResult, build_result
@@ -50,6 +51,7 @@ class FastLatencyModel:
         *,
         record_latencies: bool = False,
         obs=None,
+        faults: FaultConfig | None = None,
     ) -> None:
         self.config = config
         #: optional :class:`repro.obs.Observability`; the fast model has no
@@ -64,6 +66,12 @@ class FastLatencyModel:
             wid: modes.get(wid, PageAllocMode.STATIC) for wid in self.channel_sets
         }
         self.record_latencies = record_latencies
+        #: expected-value service-time derating under fault injection (the
+        #: fast model has no per-block state to sample against; see
+        #: :class:`~repro.ssd.faults.FaultExpectation`)
+        self.fault_expectation = (
+            FaultExpectation.from_config(faults) if faults is not None else None
+        )
         c = config
         self._dies_per_channel = c.chips_per_channel * c.dies_per_chip
         self._planes_per_channel = self._dies_per_channel * c.planes_per_die
@@ -215,6 +223,9 @@ class FastLatencyModel:
         read_bus = t.read_bus_us
         write_bus = t.write_bus_us
         write_die = t.write_die_us
+        if self.fault_expectation is not None:
+            read_die *= self.fault_expectation.read_die_multiplier
+            write_die *= self.fault_expectation.write_die_multiplier
         dies = [_GapTimeline() for _ in range(self.config.dies)]
         chans = [_GapTimeline() for _ in range(self.config.channels)]
         ends = np.empty(len(arrival))
@@ -317,10 +328,11 @@ def fast_simulate(
     *,
     record_latencies: bool = False,
     obs=None,
+    faults: FaultConfig | None = None,
 ) -> SimulationResult:
     """One-shot convenience wrapper around :class:`FastLatencyModel`."""
     model = FastLatencyModel(
         config, channel_sets, page_modes, record_latencies=record_latencies,
-        obs=obs,
+        obs=obs, faults=faults,
     )
     return model.run(requests)

@@ -9,6 +9,14 @@ reached or no victim would reclaim space.
 State mutation is immediate (so subsequent allocations see reclaimed space);
 the *timing* cost is returned as :class:`GCWorkItem` records that the
 simulator charges to the plane's die as internal jobs.
+
+With a :class:`~repro.ssd.faults.FaultInjector` attached, each erase is
+allowed to fail: the victim's valid pages have already been moved out, but
+the block is retired into the plane's bad-block table instead of rejoining
+the free pool.  The erase *attempt* still costs full ``tBERS`` (the returned
+work item's timing is unchanged); only the reclaimed capacity is lost.
+Retired blocks are never sealed or free, so victim selection skips them
+structurally.
 """
 
 from __future__ import annotations
@@ -22,19 +30,35 @@ __all__ = ["GCWorkItem", "GarbageCollector"]
 
 @dataclass(frozen=True)
 class GCWorkItem:
-    """Timing record of one reclaimed block: ``moves`` copybacks + 1 erase."""
+    """Timing record of one reclaimed block: ``moves`` copybacks + 1 erase.
+
+    ``retired`` marks a victim whose erase failed — the time was spent, but
+    the block went to the bad-block table instead of the free pool.
+    """
 
     plane_index: int
     block: int
     moves: int
+    retired: bool = False
+
+    def die_us(self, times) -> float:
+        """Die occupancy of this reclaim: copybacks plus the erase attempt."""
+        return self.moves * times.move_die_us + times.erase_us
 
 
 class GarbageCollector:
     """Greedy (min-valid-pages) victim selection per plane."""
 
-    def __init__(self, state: FlashArrayState, *, metrics=None) -> None:
+    def __init__(self, state: FlashArrayState, *, metrics=None, faults=None) -> None:
         self.state = state
-        #: total blocks reclaimed
+        #: optional :class:`repro.ssd.faults.FaultInjector`; when attached,
+        #: erases may fail and retire their block
+        self.faults = faults
+        cfg = state.config
+        self._planes_per_channel = (
+            cfg.chips_per_channel * cfg.dies_per_chip * cfg.planes_per_die
+        )
+        #: total blocks reclaimed (successfully erased)
         self.collections = 0
         #: total valid pages copied (write amplification numerator)
         self.pages_moved = 0
@@ -51,7 +75,7 @@ class GarbageCollector:
 
         A victim that is still fully valid reclaims nothing (the copyback
         consumes exactly as many pages as the erase frees), so it is not
-        eligible.
+        eligible.  Bad blocks are never sealed, so they are never candidates.
         """
         best_block: int | None = None
         best_valid = plane.pages_per_block  # full block == not worth it
@@ -92,10 +116,20 @@ class GarbageCollector:
             new_ppn = plane.allocate_page()
             mapping.bind(lpn, new_ppn)
             moves += 1
-        plane.erase_block(victim)
-        self.collections += 1
+        retired = False
+        if self.faults is not None and self.faults.erase_fails(
+            plane.plane_index // self._planes_per_channel,
+            plane.erase_count[victim],
+        ):
+            plane.retire_block(victim)
+            self.faults.note_retirement(plane.pages_per_block)
+            retired = True
+        else:
+            plane.erase_block(victim)
+            self.collections += 1
+            if self._c_collections is not None:
+                self._c_collections.inc()
         self.pages_moved += moves
-        if self._c_collections is not None:
-            self._c_collections.inc()
+        if self._c_pages_moved is not None:
             self._c_pages_moved.inc(moves)
-        return GCWorkItem(plane.plane_index, victim, moves)
+        return GCWorkItem(plane.plane_index, victim, moves, retired=retired)

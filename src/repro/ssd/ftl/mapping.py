@@ -10,8 +10,11 @@ a device.
 Invariants maintained (and property-tested):
 
 * every mapped LPN resolves to exactly one PPN and back (bijection);
-* a plane's ``free_pages + live_pages + dead_pages == pages_per_plane``;
-* valid counts per block never exceed ``pages_per_block`` or drop below 0.
+* a plane's ``free_pages + live_pages + dead_pages + retired_pages ==
+  pages_per_plane`` (retired pages belong to bad blocks);
+* valid counts per block never exceed ``pages_per_block`` or drop below 0;
+* a bad block is never sealed, free, or active — it can never be
+  allocated from, GC'd, or erased again.
 """
 
 from __future__ import annotations
@@ -44,6 +47,8 @@ class PlaneState:
         "erase_count",
         "live_pages",
         "dead_pages",
+        "bad_blocks",
+        "retired_pages",
     )
 
     def __init__(self, plane_index: int, geometry: Geometry) -> None:
@@ -62,6 +67,10 @@ class PlaneState:
         self.erase_count = [0] * self.blocks
         self.live_pages = 0
         self.dead_pages = 0
+        #: blocks permanently retired after program/erase failures
+        self.bad_blocks: set[int] = set()
+        #: pages lost to retired blocks (capacity gone for good)
+        self.retired_pages = 0
 
     # ------------------------------------------------------------------
     @property
@@ -78,6 +87,11 @@ class PlaneState:
     @property
     def total_pages(self) -> int:
         return self.blocks * self.pages_per_block
+
+    @property
+    def usable_pages(self) -> int:
+        """Physical pages not lost to retired (bad) blocks."""
+        return self.total_pages - self.retired_pages
 
     def has_free_page(self) -> bool:
         return self.free_pages > 0
@@ -132,6 +146,73 @@ class PlaneState:
         self._free_blocks.append(block)
 
     # ------------------------------------------------------------------
+    # Bad-block retirement (fault injection)
+    # ------------------------------------------------------------------
+    def next_program_block(self) -> int:
+        """Block that will receive the next programmed page."""
+        if self.next_page < self.pages_per_block:
+            return self.active_block
+        if not self._free_blocks:
+            raise RuntimeError(
+                f"plane {self.plane_index} out of space (GC did not keep up)"
+            )
+        return self._free_blocks[0]
+
+    def begin_retire_active(self) -> int:
+        """Pull the failing active block out of service; returns its id.
+
+        A fresh active block is installed from the free pool so relocation
+        (and subsequent host writes) have somewhere to go.  The failing
+        block's unprogrammed pages leave the free pool permanently here;
+        its programmed pages stay accounted as live/dead until the caller
+        relocates the valid ones and calls :meth:`retire_block`.
+        """
+        if not self._free_blocks:
+            raise RuntimeError(
+                f"plane {self.plane_index}: no spare block to replace the "
+                "failing active block"
+            )
+        failed = self.active_block
+        self.retired_pages += self.pages_per_block - self.next_page
+        self.active_block = self._free_blocks.popleft()
+        self.next_page = 0
+        return failed
+
+    def retire_block(self, block: int, *, programmed_pages: int | None = None) -> None:
+        """Permanently remove a fully-invalid block from service.
+
+        ``programmed_pages`` is how many of the block's pages were actually
+        programmed (all of them for a sealed block — the default; the
+        failure-time ``next_page`` for a block pulled via
+        :meth:`begin_retire_active`).  Those pages must all be dead by now:
+        callers relocate valid data first.
+        """
+        if block == self.active_block:
+            raise ValueError("cannot retire the active block (begin_retire_active first)")
+        if self.valid_count[block] != 0:
+            raise ValueError(
+                f"block {block} still has {self.valid_count[block]} valid pages"
+            )
+        if block in self.bad_blocks:
+            raise ValueError(f"block {block} is already retired")
+        if programmed_pages is None:
+            programmed_pages = self.pages_per_block
+        self._sealed.discard(block)
+        self.dead_pages -= programmed_pages
+        self.retired_pages += programmed_pages
+        self.bad_blocks.add(block)
+
+    def retire_free_block(self, block: int) -> None:
+        """Retire an erased block straight out of the free pool."""
+        self._free_blocks.remove(block)  # raises ValueError if not free
+        self.retired_pages += self.pages_per_block
+        self.bad_blocks.add(block)
+
+    def block_of(self, ppn: int) -> int:
+        """Block index (within this plane) holding ``ppn``."""
+        return self._block_of(ppn)
+
+    # ------------------------------------------------------------------
     def sealed_blocks(self) -> set[int]:
         """Blocks eligible as GC victims."""
         return self._sealed
@@ -149,12 +230,16 @@ class PlaneState:
 
     def check_invariants(self) -> None:
         """Assert the accounting identity; used by tests."""
-        used = self.live_pages + self.dead_pages
+        used = self.live_pages + self.dead_pages + self.retired_pages
         assert used + self.free_pages == self.total_pages, (
             f"plane {self.plane_index}: live {self.live_pages} + dead "
-            f"{self.dead_pages} + free {self.free_pages} != {self.total_pages}"
+            f"{self.dead_pages} + retired {self.retired_pages} + free "
+            f"{self.free_pages} != {self.total_pages}"
         )
         assert sum(self.valid_count) == self.live_pages
+        assert not self.bad_blocks & self._sealed, "bad block still sealed"
+        assert not self.bad_blocks & set(self._free_blocks), "bad block in free pool"
+        assert self.active_block not in self.bad_blocks, "active block is bad"
 
 
 class MappingTable:
@@ -228,3 +313,11 @@ class FlashArrayState:
 
     def mapped_pages(self) -> int:
         return len(self.mapping)
+
+    def retired_blocks(self) -> int:
+        """Device-wide count of blocks retired to the bad-block tables."""
+        return sum(len(plane.bad_blocks) for plane in self.planes)
+
+    def usable_pages(self) -> int:
+        """Device-wide physical pages not lost to retired blocks."""
+        return sum(plane.usable_pages for plane in self.planes)

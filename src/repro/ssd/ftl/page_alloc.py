@@ -32,6 +32,10 @@ __all__ = ["PageAllocMode", "StaticPagePlacer", "DynamicPagePlacer", "make_place
 #: Load probe: plane_index -> sortable load key (lower = less busy).
 LoadFn = Callable[[int], tuple]
 
+#: Viability probe: plane_index -> False when the plane must not receive
+#: writes (e.g. all usable capacity lost to retired blocks).
+ViableFn = Callable[[int], bool]
+
 
 class PageAllocMode(enum.Enum):
     """Per-tenant page-allocation mode."""
@@ -92,6 +96,7 @@ class DynamicPagePlacer:
         geometry: Geometry,
         allowed_channels: Sequence[int],
         load_fn: LoadFn,
+        viable_fn: ViableFn | None = None,
     ) -> None:
         if not allowed_channels:
             raise ValueError("allowed_channels must be non-empty")
@@ -107,21 +112,36 @@ class DynamicPagePlacer:
             for planes in per_channel
         ]
         self.load_fn = load_fn
+        #: optional health filter; non-viable planes (capacity retired away
+        #: under fault injection) are skipped unless every candidate is out
+        self.viable_fn = viable_fn
         self._rr = 0
 
     def place(self, lpn: int) -> int:
-        """Flat plane index of the least-busy candidate plane."""
+        """Flat plane index of the least-busy viable candidate plane."""
         n = len(self.candidates)
+        viable = self.viable_fn
         best_index = -1
         best_key: tuple | None = None
         # Rotate the scan start so equal-load candidates alternate.
         start = self._rr
         for offset in range(n):
             i = (start + offset) % n
+            if viable is not None and not viable(self.candidates[i]):
+                continue
             key = self.load_fn(self.candidates[i])
             if best_key is None or key < best_key:
                 best_key = key
                 best_index = i
+        if best_index < 0:
+            # Every plane filtered out: fall back to raw least-busy so the
+            # controller's own fallback/GC machinery gets to decide.
+            for offset in range(n):
+                i = (start + offset) % n
+                key = self.load_fn(self.candidates[i])
+                if best_key is None or key < best_key:
+                    best_key = key
+                    best_index = i
         self._rr = (best_index + 1) % n
         return self.candidates[best_index]
 
@@ -131,10 +151,11 @@ def make_placer(
     geometry: Geometry,
     allowed_channels: Sequence[int],
     load_fn: LoadFn,
+    viable_fn: ViableFn | None = None,
 ) -> StaticPagePlacer | DynamicPagePlacer:
     """Build the placer for one tenant."""
     if mode is PageAllocMode.STATIC:
         return StaticPagePlacer(geometry, allowed_channels)
     if mode is PageAllocMode.DYNAMIC:
-        return DynamicPagePlacer(geometry, allowed_channels, load_fn)
+        return DynamicPagePlacer(geometry, allowed_channels, load_fn, viable_fn)
     raise ValueError(f"unknown mode {mode!r}")

@@ -147,6 +147,9 @@ class SimulationResult:
     #: GC blocks reclaimed / valid pages copied
     gc_collections: int = 0
     gc_pages_moved: int = 0
+    #: host requests that completed with an unrecoverable read error (their
+    #: latencies are excluded from the read/write stats)
+    failed_reads: int = 0
     #: sum of time sub-requests spent waiting for dies / channel buses
     die_wait_us: float = 0.0
     channel_wait_us: float = 0.0
@@ -191,6 +194,16 @@ class SimulationResult:
             f"total latency {self.total_latency_us / 1e6:.3f}s, "
             f"GC {self.gc_collections} blocks / {self.gc_pages_moved} moves"
         )
+        if self.failed_reads:
+            text += f", {self.failed_reads} failed reads"
+        faults = self.extras.get("faults")
+        if faults:
+            text += (
+                f", faults[retries {faults['read_retries']}, "
+                f"pfail {faults['program_failures']}, "
+                f"efail {faults['erase_failures']}, "
+                f"retired {faults['retired_blocks']}]"
+            )
         if self.read.samples:
             text += (
                 f", read p95 {self.read.percentile(95):.1f}us"
@@ -207,6 +220,7 @@ def build_result(
     subrequests: int,
     gc_collections: int = 0,
     gc_pages_moved: int = 0,
+    failed_reads: int = 0,
     die_wait_us: float = 0.0,
     channel_wait_us: float = 0.0,
     events: int = 0,
@@ -226,6 +240,7 @@ def build_result(
         subrequests=subrequests,
         gc_collections=gc_collections,
         gc_pages_moved=gc_pages_moved,
+        failed_reads=failed_reads,
         die_wait_us=die_wait_us,
         channel_wait_us=channel_wait_us,
         events=events,

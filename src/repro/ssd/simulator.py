@@ -24,6 +24,7 @@ from .buffer import BufferConfig, WriteBuffer
 from .config import SSDConfig
 from .controller import FTLController
 from .engine import PRIO_GC, PRIO_READ, PRIO_WRITE, EventLoop, Resource
+from .faults import FaultConfig, FaultInjector
 from .ftl.gc import GCWorkItem
 from .ftl.page_alloc import PageAllocMode
 from .metrics import LatencyAccumulator, SimulationResult, build_result
@@ -36,12 +37,13 @@ __all__ = ["SSDSimulator", "simulate"]
 class _InFlight:
     """Book-keeping for one host request while its pages are in service."""
 
-    __slots__ = ("request", "remaining", "last_end")
+    __slots__ = ("request", "remaining", "last_end", "failed")
 
     def __init__(self, request: IORequest) -> None:
         self.request = request
         self.remaining = request.length
         self.last_end = request.arrival_us
+        self.failed = False
 
 
 class SSDSimulator:
@@ -78,6 +80,7 @@ class SSDSimulator:
         read_priority: bool = False,
         buffer: "BufferConfig | None" = None,
         obs=None,
+        faults: "FaultConfig | FaultInjector | None" = None,
     ) -> None:
         self.config = config
         #: optional callback fired with each request at its submission time
@@ -97,6 +100,12 @@ class SSDSimulator:
         ]
         self._planes_per_die = config.planes_per_die
         self.obs = obs
+        #: optional fault injector (seeded NAND error model); ``None`` costs
+        #: one ``is not None`` branch per operation
+        if faults is None or isinstance(faults, FaultInjector):
+            self.faults = faults
+        else:
+            self.faults = FaultInjector(faults)
         self._trace = None
         self._hist = None
         if obs is not None:
@@ -114,6 +123,7 @@ class SSDSimulator:
             page_modes,
             load_fn=self._die_load,
             obs=obs,
+            faults=self.faults,
         )
         #: optional DRAM write-back buffer in front of the FTL
         self.buffer = WriteBuffer(buffer) if buffer is not None else None
@@ -122,6 +132,7 @@ class SSDSimulator:
         self._next_req_key = 0
         self.requests_done = 0
         self.subrequests_done = 0
+        self.failed_reads = 0
 
     # ------------------------------------------------------------------
     def _die_load(self, plane_index: int) -> tuple:
@@ -187,12 +198,18 @@ class SSDSimulator:
             subrequests=self.subrequests_done,
             gc_collections=self.controller.gc.collections,
             gc_pages_moved=self.controller.gc.pages_moved,
+            failed_reads=self.failed_reads,
             die_wait_us=sum(d.wait_time for d in self.dies),
             channel_wait_us=sum(c.wait_time for c in self.channels),
             events=self.loop.events_processed,
             extras={
                 "seeded_pages": self.controller.seeded_pages,
                 "mapped_pages": self.controller.mapped_pages(),
+                **(
+                    {"faults": self.faults.summary()}
+                    if self.faults is not None
+                    else {}
+                ),
                 **(
                     {
                         "buffer_read_hit_rate": self.buffer.stats.read_hit_rate,
@@ -226,6 +243,8 @@ class SSDSimulator:
             )
         if self.buffer is not None:
             self.buffer.stats.publish(reg)
+        if self.faults is not None:
+            self.faults.publish(reg)
         if self.obs.profiler is not None:
             self.obs.profiler.publish(reg)
 
@@ -311,9 +330,34 @@ class SSDSimulator:
             self._dispatch_event(wid, lpn, ppn, "read", die, bus)
 
         prio = self._read_prio
+        die_us = t.read_die_us
+        unrecoverable = False
+        if self.faults is not None:
+            geom = self.controller.geometry
+            plane = self.controller.state.planes[geom.plane_index(ppn)]
+            block = plane.block_of(ppn)
+            outcome = self.faults.read_outcome(
+                geom.channel_of(ppn), plane.erase_count[block]
+            )
+            if outcome.retries:
+                # Each ECC retry re-senses the array: the die stays busy for
+                # one extra command+tR round per retry.
+                die_us = t.read_die_with_retries(outcome.retries)
+                if self._trace is not None:
+                    self._trace.emit(
+                        self.loop.now, "read_retry", die.name, "faults",
+                        args={"ppn": ppn, "retries": outcome.retries,
+                              "unrecoverable": outcome.unrecoverable},
+                    )
+            unrecoverable = outcome.unrecoverable
 
         def die_granted(start: float) -> None:
-            done = start + t.read_die_us
+            done = start + die_us
+            if unrecoverable:
+                # ECC exhausted: the die time was spent but no data moves
+                # over the bus — the request surfaces as a failed read.
+                self.loop.schedule(done, lambda: self._complete_page(key, failed=True))
+                return
 
             def to_bus() -> None:
                 bus.acquire((prio, self.loop.now), t.read_bus_us, bus_granted)
@@ -323,7 +367,7 @@ class SSDSimulator:
         def bus_granted(start: float) -> None:
             self.loop.schedule(start + t.read_bus_us, lambda: self._complete_page(key))
 
-        die.acquire((prio, self.loop.now), t.read_die_us, die_granted)
+        die.acquire((prio, self.loop.now), die_us, die_granted)
 
     def _issue_write(self, key: int, wid: int, lpn: int) -> None:
         ppn, gc_items = self.controller.place_write(wid, lpn)
@@ -355,41 +399,65 @@ class SSDSimulator:
             args={"wid": wid, "lpn": lpn, "ppn": ppn, "op": op, "die": die.name},
         )
 
-    def _charge_gc(self, items: list[GCWorkItem]) -> None:
-        """Charge copyback + erase time of reclaimed blocks to their dies."""
+    def _charge_gc(self, items: list) -> None:
+        """Charge die time for FTL background work done on behalf of a write.
+
+        ``items`` mixes :class:`~repro.ssd.ftl.gc.GCWorkItem` (copyback +
+        erase of a reclaimed block) and
+        :class:`~repro.ssd.faults.FaultWorkItem` (relocation out of a block
+        being retired); both expose ``die_us(times)``.
+        """
         t = self.times
         tr = self._trace
         for item in items:
             die = self.dies[item.plane_index // self._planes_per_die]
-            duration = item.moves * t.move_die_us + t.erase_us
+            duration = item.die_us(t)
             if tr is None:
                 die.acquire((PRIO_GC, self.loop.now), duration, lambda _start: None)
             else:
-                def on_grant(start, die=die, item=item, duration=duration):
-                    tr.emit(
-                        start, "gc_start", die.name, "gc",
-                        args={"plane": item.plane_index, "block": item.block,
-                              "moves": item.moves},
-                    )
-                    self.loop.schedule(
-                        start + duration,
-                        lambda: tr.emit(self.loop.now, "gc_end", die.name, "gc"),
-                    )
+                is_gc = isinstance(item, GCWorkItem)
+                retired = not is_gc or item.retired
+
+                def on_grant(start, die=die, item=item, duration=duration,
+                             is_gc=is_gc, retired=retired):
+                    if is_gc:
+                        tr.emit(
+                            start, "gc_start", die.name, "gc",
+                            args={"plane": item.plane_index, "block": item.block,
+                                  "moves": item.moves},
+                        )
+                        self.loop.schedule(
+                            start + duration,
+                            lambda: tr.emit(self.loop.now, "gc_end", die.name, "gc"),
+                        )
+                    if retired:
+                        tr.emit(
+                            start, "block_retired", die.name, "faults",
+                            args={"plane": item.plane_index, "block": item.block,
+                                  "moves": item.moves},
+                        )
 
                 die.acquire((PRIO_GC, self.loop.now), duration, on_grant)
 
-    def _complete_page(self, key: int) -> None:
+    def _complete_page(self, key: int, failed: bool = False) -> None:
         flight = self._inflight[key]
         flight.remaining -= 1
         self.subrequests_done += 1
+        if failed:
+            flight.failed = True
         if flight.last_end < self.loop.now:
             flight.last_end = self.loop.now
         if flight.remaining == 0:
             req = flight.request
             req.complete_us = flight.last_end
-            self.acc.add(req.workload_id, req.op, req.latency_us)
-            if self._hist is not None:
-                self._hist[req.op].observe(req.latency_us)
+            if flight.failed:
+                # Unrecoverable read: the request surfaces as failed, and its
+                # latency is excluded from the success statistics.
+                self.failed_reads += 1
+            else:
+                self.acc.add(req.workload_id, req.op, req.latency_us)
+                if self._hist is not None:
+                    self._hist[req.op].observe(req.latency_us)
             del self._inflight[key]
             self.requests_done += 1
 
@@ -402,10 +470,11 @@ def simulate(
     *,
     record_latencies: bool = False,
     obs=None,
+    faults: "FaultConfig | FaultInjector | None" = None,
 ) -> SimulationResult:
     """One-shot convenience wrapper around :class:`SSDSimulator`."""
     sim = SSDSimulator(
         config, channel_sets, page_modes, record_latencies=record_latencies,
-        obs=obs,
+        obs=obs, faults=faults,
     )
     return sim.run(requests)

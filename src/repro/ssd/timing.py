@@ -57,6 +57,18 @@ class ServiceTimes:
         """Die occupancy of a read: command + array sense."""
         return self.command_us + self.read_flash_us
 
+    def read_die_with_retries(self, retries: int) -> float:
+        """Die occupancy of a read that needed ``retries`` ECC read retries.
+
+        Each retry re-issues the command and re-senses the array with tuned
+        thresholds, so a read with ``n`` retries holds the die for
+        ``(1 + n)`` full command+tR rounds.  ``retries=0`` is exactly
+        :attr:`read_die_us`.
+        """
+        if retries < 0:
+            raise ValueError("retries must be non-negative")
+        return (1 + retries) * self.read_die_us
+
     @property
     def read_bus_us(self) -> float:
         """Channel occupancy of a read: page transfer out."""

@@ -6,7 +6,7 @@ import numpy as np
 import pytest
 
 from repro.nn import MLP
-from repro.nn.serialization import from_dict, load, save, to_dict
+from repro.nn.serialization import CheckpointError, from_dict, load, save, to_dict
 
 
 class TestRoundTrip:
@@ -58,3 +58,48 @@ class TestValidation:
         payload["layers"][0]["bias"] = payload["layers"][0]["bias"][:-1]
         with pytest.raises(ValueError):
             from_dict(payload)
+
+    def test_errors_are_checkpoint_errors(self):
+        """Every rejection is a CheckpointError (a ValueError subclass)."""
+        net = MLP([2, 3, 2], seed=0)
+        bad_format = {"format": "bogus"}
+        missing_keys = {"format": "repro-mlp-v1"}
+        truncated = to_dict(net)
+        truncated["layers"] = truncated["layers"][:1]
+        for payload in (bad_format, missing_keys, truncated, [1, 2], {}):
+            with pytest.raises(CheckpointError):
+                from_dict(payload)
+
+    def test_rejects_bad_layer_sizes(self):
+        payload = to_dict(MLP([2, 3, 2], seed=0))
+        for sizes in ([2], [2, 0, 2], "2,3,2", [2, 3.5, 2]):
+            payload["layer_sizes"] = sizes
+            with pytest.raises(CheckpointError, match="layer_sizes"):
+                from_dict(payload)
+
+    def test_rejects_unparseable_hex_floats(self):
+        payload = to_dict(MLP([2, 3, 2], seed=0))
+        payload["layers"][0]["weight"][0][0] = "not-a-float"
+        with pytest.raises(CheckpointError, match="layer 0 weight"):
+            from_dict(payload)
+
+    def test_rejects_non_finite_parameters(self):
+        payload = to_dict(MLP([2, 3, 2], seed=0))
+        payload["layers"][1]["bias"][0] = float("nan").hex()
+        with pytest.raises(CheckpointError, match="non-finite"):
+            from_dict(payload)
+
+    def test_load_rejects_invalid_json(self, tmp_path):
+        path = tmp_path / "corrupt.json"
+        path.write_text("{not json", encoding="utf-8")
+        with pytest.raises(CheckpointError, match="not valid JSON"):
+            load(path)
+
+    def test_load_rejects_truncated_file(self, tmp_path):
+        net = MLP([2, 3, 2], seed=0)
+        path = tmp_path / "model.json"
+        save(net, path)
+        text = path.read_text(encoding="utf-8")
+        path.write_text(text[: len(text) // 2], encoding="utf-8")
+        with pytest.raises(CheckpointError):
+            load(path)

@@ -30,6 +30,31 @@ class TestEventLoop:
         with pytest.raises(ValueError):
             loop.run()
 
+    def test_clamps_float_rounding_residue(self):
+        """``when`` a hair below ``now`` (summed-duration round-off) clamps.
+
+        Chained ``start + duration`` arithmetic can produce a completion
+        time that is one ULP below the loop's current time; that must not
+        blow up a multi-hour simulation.
+        """
+        loop = EventLoop()
+        seen = []
+
+        def at_now_minus_epsilon():
+            loop.schedule(loop.now - 5e-10, lambda: seen.append(loop.now))
+
+        loop.schedule(1.0, at_now_minus_epsilon)
+        loop.run()
+        assert seen == [1.0]  # clamped to now, not scheduled in the past
+
+    def test_clamp_tolerance_is_tight(self):
+        loop = EventLoop()
+        loop.schedule(
+            1.0, lambda: loop.schedule(loop.now - 1e-6, lambda: None)
+        )
+        with pytest.raises(ValueError, match="past"):
+            loop.run()
+
     def test_events_scheduled_during_run_are_processed(self):
         loop = EventLoop()
         seen = []

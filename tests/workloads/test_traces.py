@@ -58,18 +58,47 @@ class TestParsing:
         text = "arrival_us,workload_id,op,lpn,length\n0.0,0,R,1,1\n"
         assert len(traces.loads(text)) == 1
 
-    def test_rejects_wrong_field_count(self):
+    def test_strict_rejects_wrong_field_count(self):
         with pytest.raises(ValueError, match="line 1"):
-            traces.loads("0.0,0,R,1\n")
+            traces.loads("0.0,0,R,1\n", strict=True)
 
-    def test_rejects_bad_op(self):
+    def test_strict_rejects_bad_op(self):
         with pytest.raises(ValueError, match="line 1"):
-            traces.loads("0.0,0,X,1,1\n")
+            traces.loads("0.0,0,X,1,1\n", strict=True)
 
-    def test_rejects_bad_numbers(self):
+    def test_strict_rejects_bad_numbers(self):
         with pytest.raises(ValueError):
-            traces.loads("abc,0,R,1,1\n")
+            traces.loads("abc,0,R,1,1\n", strict=True)
 
-    def test_error_reports_line_number(self):
+    def test_strict_error_reports_line_number(self):
         with pytest.raises(ValueError, match="line 2"):
-            traces.loads("0.0,0,R,1,1\n0.0,0,R,1\n")
+            traces.loads("0.0,0,R,1,1\n0.0,0,R,1\n", strict=True)
+
+
+class TestLenientParsing:
+    DIRTY = "0.0,0,R,1,1\nabc,0,R,1,1\n1.0,0,W,2,1\n2.0,0,R,3\n3.0,0,R,4,1\n"
+
+    def test_skips_malformed_lines(self):
+        with pytest.warns(traces.MalformedTraceWarning):
+            parsed = traces.loads(self.DIRTY)
+        assert [r.lpn for r in parsed] == [1, 2, 4]
+
+    def test_warning_counts_and_names_first_error(self):
+        with pytest.warns(traces.MalformedTraceWarning, match=r"skipped 2 .*line 2"):
+            traces.loads(self.DIRTY)
+
+    def test_clean_trace_warns_nothing(self):
+        import warnings
+
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            parsed = traces.loads("0.0,0,R,1,1\n1.0,0,W,2,1\n")
+        assert len(parsed) == 2
+
+    def test_file_load_is_lenient(self, tmp_path):
+        path = tmp_path / "dirty.csv"
+        path.write_text(self.DIRTY, encoding="utf-8")
+        with pytest.warns(traces.MalformedTraceWarning):
+            assert len(traces.load(path)) == 3
+        with pytest.raises(ValueError):
+            traces.load(path, strict=True)
