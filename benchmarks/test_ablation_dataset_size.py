@@ -6,8 +6,8 @@ test accuracy converges with data, so readers can judge what the remaining
 gap to the paper's dataset buys.
 """
 
+from repro.core import StrategyLearner, StrategySpace
 from repro.harness import ablation_dataset_size, format_table
-from repro.core import StrategySpace, StrategyLearner
 from repro.harness import build_dataset
 
 

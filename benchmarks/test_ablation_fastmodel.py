@@ -6,13 +6,13 @@ of strategy orderings, winner agreement under the tie band, and the
 cross-engine regret of deploying the fast model's winner.
 """
 
+import numpy as np
+
 from repro.core import LabelerConfig, StrategySpace, random_specs, sweep_strategies
 from repro.core.features import features_of_mix
 from repro.harness import ablation_fastmodel, format_table
 from repro.ssd import SSDConfig
 from repro.workloads import synthesize_mix
-
-import numpy as np
 
 
 def test_fastmodel_fidelity_and_bench(benchmark, scale, cache, report):

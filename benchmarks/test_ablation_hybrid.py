@@ -5,8 +5,7 @@ page allocation and reports the mean gain of hybrid over all-static.
 """
 
 from repro.harness import ablation_hybrid, format_table
-from repro.harness.experiments import labeler_config
-from repro.ssd import SSDConfig, simulate, PageAllocMode
+from repro.ssd import PageAllocMode, SSDConfig, simulate
 from repro.workloads import WorkloadSpec, generate
 
 

@@ -5,9 +5,10 @@ quantifying whether the paper's 64-neuron choice sits on the accuracy
 plateau while keeping the FTL footprint tiny.
 """
 
+import numpy as np
+
 from repro.harness import ablation_model_size, format_table
 from repro.nn import paper_network
-import numpy as np
 
 
 def test_model_size_ablation_and_bench(benchmark, scale, cache, report):

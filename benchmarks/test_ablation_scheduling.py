@@ -6,8 +6,6 @@ tR << tPROG asymmetry.  This bench quantifies the alternative reading:
 a genuinely preemptive read queue trades write latency for read latency.
 """
 
-import numpy as np
-
 from repro.harness import ablation_scheduling, format_table
 from repro.harness.experiments import labeler_config
 from repro.ssd import SSDSimulator

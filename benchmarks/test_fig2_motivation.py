@@ -13,7 +13,7 @@ normalised latencies).  The expected *shape*:
 
 import numpy as np
 
-from repro.harness import fig2_motivation, format_series, normalize
+from repro.harness import fig2_motivation, format_series
 from repro.harness.experiments import labeler_config
 from repro.ssd import simulate
 from repro.workloads import WorkloadSpec, generate

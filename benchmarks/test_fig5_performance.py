@@ -10,10 +10,10 @@ Isolation is catastrophic for at least one mix (the paper's Mix1: -327 %).
 
 import numpy as np
 
-from repro.harness import fig5_performance, format_table
-from repro.harness.experiments import labeler_config
 from repro.core import ChannelAllocator, SSDKeeper
-from repro.harness import trained_learner, build_mixes
+from repro.harness import fig5_performance, format_table
+from repro.harness import build_mixes, trained_learner
+from repro.harness.experiments import labeler_config
 
 
 def test_fig5_regenerate_and_bench(benchmark, scale, cache, report):

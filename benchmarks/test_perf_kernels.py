@@ -7,13 +7,7 @@ and GC costs), so regressions in the hot loops are visible.
 
 import numpy as np
 
-from repro.ssd import (
-    FastLatencyModel,
-    IORequest,
-    OpType,
-    SSDConfig,
-    SSDSimulator,
-)
+from repro.ssd import FastLatencyModel, IORequest, OpType, SSDConfig, SSDSimulator
 from repro.ssd.ftl.gc import GarbageCollector
 from repro.ssd.ftl.mapping import FlashArrayState
 

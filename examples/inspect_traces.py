@@ -13,8 +13,8 @@ Shows the workflow a user with *real* block traces would follow:
 Run:  python examples/inspect_traces.py
 """
 
-import tempfile
 from pathlib import Path
+import tempfile
 
 from repro.harness import format_table
 from repro.ssd import SSDConfig, SSDSimulator

@@ -20,9 +20,9 @@ Run:  python examples/multi_tenant_datacenter.py          (a few minutes)
 """
 
 import os
+from pathlib import Path
 import tempfile
 import time
-from pathlib import Path
 
 from repro.core import (
     ChannelAllocator,
@@ -34,7 +34,7 @@ from repro.core import (
     generate_dataset,
 )
 from repro.harness import format_table
-from repro.workloads import msr, mixer, synthetic
+from repro.workloads import mixer, msr, synthetic
 
 
 def main() -> None:

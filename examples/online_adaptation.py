@@ -16,15 +16,13 @@ Run:  python examples/online_adaptation.py
 
 import os
 
-import numpy as np
-
 from repro.core import (
     ChannelAllocator,
     LabelerConfig,
     PagePolicy,
     SSDKeeper,
-    StrategySpace,
     StrategyLearner,
+    StrategySpace,
     generate_dataset,
 )
 from repro.harness import format_table

@@ -1,0 +1,262 @@
+"""AST-walking lint engine: file discovery, waiver parsing, rule dispatch.
+
+The engine is deliberately small: it parses each file once, extracts
+per-line waivers from comments, derives the dotted module name (so rules
+can scope themselves to ``repro.ssd`` / ``repro.core``), and hands the
+:class:`ModuleSource` to every selected rule.  Violations on a line
+carrying a matching waiver comment are kept in the report (so ``--json``
+consumers can audit them) but marked ``waived`` and excluded from the
+exit-code decision.
+
+Waiver grammar (one comment per line, reason mandatory)::
+
+    expr  # repro-lint: disable=R001 (trace column 0 is microseconds)
+    expr  # repro-lint: disable=R001,R004 (absolute trace timestamps)
+
+A waiver without a parenthesised justification does **not** silence the
+violation — the point of the waiver is the written reason.
+
+Fixture files outside the package tree can pin the module name rules see
+with a header comment: ``# repro-lint: module=repro.ssd.fixture``.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from pathlib import Path
+import re
+from typing import Iterable, Sequence
+
+__all__ = ["Violation", "Waiver", "ModuleSource", "Report", "LintEngine", "lint_paths"]
+
+_WAIVER_RE = re.compile(
+    r"#\s*repro-lint:\s*disable=(?P<codes>[A-Z]\d{3}(?:\s*,\s*[A-Z]\d{3})*)"
+    r"(?:\s*\((?P<reason>[^)]*)\))?"
+)
+_MODULE_RE = re.compile(r"#\s*repro-lint:\s*module=(?P<module>[\w.]+)")
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One finding: rule code, location, and message."""
+
+    rule: str
+    path: str
+    line: int
+    col: int
+    message: str
+    waived: bool = False
+    waiver_reason: str | None = None
+
+    def format(self) -> str:
+        text = f"{self.path}:{self.line}:{self.col}: {self.rule} {self.message}"
+        if self.waived:
+            text += f"  [waived: {self.waiver_reason}]"
+        return text
+
+    def to_dict(self) -> dict:
+        return {
+            "rule": self.rule,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "message": self.message,
+            "waived": self.waived,
+            "waiver_reason": self.waiver_reason,
+        }
+
+
+@dataclass(frozen=True)
+class Waiver:
+    """Parsed ``repro-lint: disable=`` comment on one line."""
+
+    codes: frozenset[str]
+    reason: str | None
+
+    @property
+    def justified(self) -> bool:
+        return bool(self.reason and self.reason.strip())
+
+
+@dataclass
+class ModuleSource:
+    """One parsed file, ready for rules."""
+
+    path: Path
+    module: str
+    text: str
+    tree: ast.Module
+    waivers: dict[int, Waiver] = field(default_factory=dict)
+
+    @classmethod
+    def parse(cls, path: Path, *, root_package: str = "repro") -> "ModuleSource":
+        text = path.read_text(encoding="utf-8")
+        tree = ast.parse(text, filename=str(path))
+        return cls(
+            path=path,
+            module=_derive_module(path, text, root_package),
+            text=text,
+            tree=tree,
+            waivers=_parse_waivers(text),
+        )
+
+    def in_package(self, *prefixes: str) -> bool:
+        """True when this module lives under any of the dotted prefixes."""
+        return any(
+            self.module == p or self.module.startswith(p + ".") for p in prefixes
+        )
+
+
+def _derive_module(path: Path, text: str, root_package: str) -> str:
+    override = _MODULE_RE.search(text[:2000])
+    if override:
+        return override.group("module")
+    parts = list(path.resolve().with_suffix("").parts)
+    if parts and parts[-1] == "__init__":
+        parts = parts[:-1]
+    try:
+        anchor = len(parts) - 1 - parts[::-1].index(root_package)
+    except ValueError:
+        return path.stem
+    return ".".join(parts[anchor:])
+
+
+def _parse_waivers(text: str) -> dict[int, Waiver]:
+    waivers: dict[int, Waiver] = {}
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        if "repro-lint" not in line:
+            continue
+        match = _WAIVER_RE.search(line)
+        if match is None:
+            continue
+        codes = frozenset(
+            code.strip() for code in match.group("codes").split(",")
+        )
+        waivers[lineno] = Waiver(codes=codes, reason=match.group("reason"))
+    return waivers
+
+
+@dataclass
+class Report:
+    """All violations found over one engine run."""
+
+    violations: list[Violation]
+    files: int
+
+    @property
+    def active(self) -> list[Violation]:
+        """Violations that fail the run (not waived)."""
+        return [v for v in self.violations if not v.waived]
+
+    @property
+    def waived(self) -> list[Violation]:
+        return [v for v in self.violations if v.waived]
+
+    @property
+    def ok(self) -> bool:
+        return not self.active
+
+    def counts(self) -> dict[str, int]:
+        out: dict[str, int] = {}
+        for violation in self.active:
+            out[violation.rule] = out.get(violation.rule, 0) + 1
+        return out
+
+    def to_dict(self) -> dict:
+        return {
+            "version": 1,
+            "files": self.files,
+            "ok": self.ok,
+            "counts": self.counts(),
+            "violations": [v.to_dict() for v in self.violations],
+        }
+
+
+class LintEngine:
+    """Runs a set of rules over files or directory trees."""
+
+    def __init__(
+        self,
+        rules: Sequence | None = None,
+        *,
+        select: Iterable[str] | None = None,
+    ) -> None:
+        if rules is None:
+            from .rules import default_rules
+
+            rules = default_rules()
+        if select is not None:
+            wanted = {code.strip().upper() for code in select}
+            unknown = wanted - {rule.code for rule in rules}
+            if unknown:
+                raise ValueError(f"unknown rule codes: {sorted(unknown)}")
+            rules = [rule for rule in rules if rule.code in wanted]
+        self.rules = list(rules)
+
+    # ------------------------------------------------------------------
+    def lint_file(self, path: Path | str) -> list[Violation]:
+        module = ModuleSource.parse(Path(path))
+        return self.lint_module(module)
+
+    def lint_module(self, module: ModuleSource) -> list[Violation]:
+        violations: list[Violation] = []
+        for rule in self.rules:
+            if rule.applies_to and not module.in_package(*rule.applies_to):
+                continue
+            for violation in rule.check(module):
+                violations.append(self._apply_waiver(module, violation))
+        violations.sort(key=lambda v: (v.line, v.col, v.rule))
+        return violations
+
+    def lint_paths(self, paths: Iterable[Path | str]) -> Report:
+        files = sorted(_discover(paths))
+        violations: list[Violation] = []
+        for path in files:
+            violations.extend(self.lint_file(path))
+        return Report(violations=violations, files=len(files))
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _apply_waiver(module: ModuleSource, violation: Violation) -> Violation:
+        waiver = module.waivers.get(violation.line)
+        if waiver is None or violation.rule not in waiver.codes:
+            return violation
+        if not waiver.justified:
+            return Violation(
+                rule=violation.rule,
+                path=violation.path,
+                line=violation.line,
+                col=violation.col,
+                message=violation.message
+                + " [waiver rejected: missing (justification)]",
+            )
+        return Violation(
+            rule=violation.rule,
+            path=violation.path,
+            line=violation.line,
+            col=violation.col,
+            message=violation.message,
+            waived=True,
+            waiver_reason=waiver.reason.strip(),
+        )
+
+
+def _discover(paths: Iterable[Path | str]) -> Iterable[Path]:
+    for entry in paths:
+        path = Path(entry)
+        if path.is_dir():
+            for child in path.rglob("*.py"):
+                if "__pycache__" not in child.parts:
+                    yield child
+        elif path.suffix == ".py":
+            yield path
+        else:
+            raise FileNotFoundError(f"not a python file or directory: {path}")
+
+
+def lint_paths(
+    paths: Iterable[Path | str], *, select: Iterable[str] | None = None
+) -> Report:
+    """One-shot convenience wrapper: lint ``paths`` with the default rules."""
+    return LintEngine(select=select).lint_paths(paths)

@@ -1,0 +1,34 @@
+"""Human- and machine-readable output for lint reports."""
+
+from __future__ import annotations
+
+import json
+
+from .engine import Report
+
+__all__ = ["format_report", "report_json"]
+
+
+def format_report(report: Report, *, show_waived: bool = False) -> str:
+    """Plain-text report: one line per violation plus a summary line."""
+    lines = [v.format() for v in report.active]
+    if show_waived:
+        lines.extend(v.format() for v in report.waived)
+    counts = report.counts()
+    if counts:
+        per_rule = ", ".join(f"{code}: {n}" for code, n in sorted(counts.items()))
+        lines.append(
+            f"{len(report.active)} violation(s) in {report.files} file(s) "
+            f"({per_rule}); {len(report.waived)} waived"
+        )
+    else:
+        lines.append(
+            f"clean: {report.files} file(s), 0 violations, "
+            f"{len(report.waived)} waived"
+        )
+    return "\n".join(lines)
+
+
+def report_json(report: Report) -> str:
+    """Stable JSON document (schema ``version: 1``) for CI consumers."""
+    return json.dumps(report.to_dict(), indent=2, sort_keys=False)

@@ -1,0 +1,164 @@
+"""R002 — determinism hygiene inside ``repro.ssd`` / ``repro.core``.
+
+The simulator's contract is *seeded determinism*: two runs with the same
+config and seed produce byte-identical summaries.  That breaks the
+moment simulation code reads entropy the seed does not control:
+
+* module-level RNG — ``random.random()``, ``random.randint(...)``,
+  ``np.random.uniform(...)`` — draws from a process-global stream whose
+  state depends on import order and every other caller.  All randomness
+  must flow through an instance (``random.Random(seed)`` /
+  ``np.random.default_rng(seed)``).
+* wall-clock reads — ``time.time()`` / ``time.monotonic()`` /
+  ``time.perf_counter()`` / ``datetime.now()`` — leak host time into the
+  simulated timeline.
+* iterating a ``set()`` (or frozenset) literal/constructor result —
+  iteration order is salted per process; if the elements feed event
+  scheduling, ties break differently run to run.
+* dict iteration feeding event ordering: calling ``loop.schedule`` (or
+  ``heappush``) inside a ``for`` loop over ``.items()`` / ``.keys()`` /
+  ``.values()`` is only safe when insertion order is itself
+  deterministic — flagged so the author either sorts or waives with the
+  reason insertion order is deterministic.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from . import Rule
+
+__all__ = ["DeterminismHygieneRule"]
+
+#: module-level RNG callables on the ``random`` module
+_RANDOM_MODULE_FUNCS = frozenset(
+    {
+        "random", "randint", "randrange", "uniform", "choice", "choices",
+        "shuffle", "sample", "gauss", "normalvariate", "expovariate",
+        "betavariate", "triangular", "seed", "getrandbits",
+    }
+)
+
+#: wall-clock reads on the ``time`` module
+_TIME_FUNCS = frozenset(
+    {"time", "monotonic", "perf_counter", "process_time", "time_ns",
+     "monotonic_ns", "perf_counter_ns"}
+)
+
+_DICT_ITER_METHODS = frozenset({"items", "keys", "values"})
+_SCHEDULING_CALLS = frozenset({"schedule", "heappush", "push"})
+
+
+def _dotted(node: ast.expr) -> str | None:
+    """``a.b.c`` as a string, or None for non-trivial receivers."""
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+class DeterminismHygieneRule(Rule):
+    """R002: no unseeded entropy or order-salted iteration in sim code."""
+
+    code = "R002"
+    summary = (
+        "simulation code must not draw from module-level RNG, read wall "
+        "clocks, or depend on set/dict iteration order for event ordering"
+    )
+    applies_to = ("repro.ssd", "repro.core")
+
+    def check(self, module) -> Iterator:
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.Call):
+                yield from self._check_entropy_call(module, node)
+            elif isinstance(node, ast.For):
+                yield from self._check_for(module, node)
+            elif isinstance(node, (ast.ListComp, ast.SetComp, ast.GeneratorExp)):
+                for comp in node.generators:
+                    yield from self._check_set_iter(module, comp.iter)
+
+    # ------------------------------------------------------------------
+    def _check_entropy_call(self, module, node: ast.Call):
+        name = _dotted(node.func)
+        if name is None:
+            return
+        parts = name.split(".")
+        if len(parts) == 2 and parts[0] == "random" and parts[1] in _RANDOM_MODULE_FUNCS:
+            yield self.violation(
+                module,
+                node,
+                f"module-level RNG '{name}()' — use an instance "
+                "random.Random(seed) so runs are seed-reproducible",
+            )
+        elif parts[0] in ("np", "numpy") and len(parts) >= 3 and parts[1] == "random":
+            if parts[2] not in ("default_rng", "Generator", "SeedSequence"):
+                yield self.violation(
+                    module,
+                    node,
+                    f"module-level RNG '{name}()' — use "
+                    "np.random.default_rng(seed)",
+                )
+        elif parts[0] == "time" and len(parts) == 2 and parts[1] in _TIME_FUNCS:
+            yield self.violation(
+                module,
+                node,
+                f"wall-clock read '{name}()' — simulated time must come "
+                "from the event loop, not the host clock",
+            )
+        elif name.endswith("datetime.now") or name == "datetime.now":
+            yield self.violation(
+                module, node, f"wall-clock read '{name}()' in simulation code"
+            )
+
+    def _check_for(self, module, node: ast.For):
+        yield from self._check_set_iter(module, node.iter)
+        yield from self._check_dict_iter_scheduling(module, node)
+
+    def _check_set_iter(self, module, iter_node: ast.expr):
+        if isinstance(iter_node, ast.Set):
+            yield self.violation(
+                module,
+                iter_node,
+                "iterates a set literal — set iteration order is salted "
+                "per process; sort or use a tuple",
+            )
+        elif (
+            isinstance(iter_node, ast.Call)
+            and isinstance(iter_node.func, ast.Name)
+            and iter_node.func.id in ("set", "frozenset")
+        ):
+            yield self.violation(
+                module,
+                iter_node,
+                f"iterates a {iter_node.func.id}() — iteration order is "
+                "not deterministic; wrap in sorted(...)",
+            )
+
+    def _check_dict_iter_scheduling(self, module, node: ast.For):
+        iter_node = node.iter
+        if not (
+            isinstance(iter_node, ast.Call)
+            and isinstance(iter_node.func, ast.Attribute)
+            and iter_node.func.attr in _DICT_ITER_METHODS
+        ):
+            return
+        for inner in ast.walk(node):
+            if (
+                isinstance(inner, ast.Call)
+                and isinstance(inner.func, ast.Attribute)
+                and inner.func.attr in _SCHEDULING_CALLS
+            ):
+                yield self.violation(
+                    module,
+                    inner,
+                    f"schedules events while iterating "
+                    f".{iter_node.func.attr}() — event order then depends "
+                    "on dict insertion order; sort the keys or waive with "
+                    "the reason insertion order is deterministic",
+                )
+                return

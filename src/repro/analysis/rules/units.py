@@ -1,0 +1,353 @@
+"""R001 — unit hygiene for simulated-time quantities.
+
+Every timing quantity in this codebase is **microseconds** and carries a
+``_us`` suffix (``arrival_us``, ``read_die_us``, ``makespan_us``, ...).
+The one systematic failure mode of latency models is silent unit drift:
+a millisecond value flowing into a microsecond field is off by 1000x and
+no test that samples a distribution will catch it.
+
+R001 checks every *microsecond sink* — a keyword argument, assignment
+target, dict key, or ``*_us``-named function's return value — and
+requires the flowing value to provably be microseconds:
+
+* a ``*_us``-suffixed name / attribute / call (case-insensitive), or
+  the event-loop clock ``now`` (microseconds by the DES contract);
+* a numeric literal (literals at a ``_us`` sink are declared in-unit);
+* arithmetic that preserves or correctly converts the unit —
+  ``window_s * 1e6`` and ``delay_ms * 1e3`` convert to microseconds,
+  ``a_us + b_us`` stays microseconds, ``total_us / count`` stays
+  microseconds (dimensionless divisor);
+* container/ufunc plumbing over such values (``min``/``max``/``sum``/
+  ``float``/``np.array``/``.tolist()``/comprehensions/...).
+
+Flagged: ``*_ms`` / ``*_ns`` / ``*_s`` names reaching a ``_us`` sink
+without a conversion factor, unsuffixed names (unit unprovable), and
+``+``/``-`` mixing two different known time units anywhere.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from . import Rule
+
+__all__ = ["UnitHygieneRule", "infer_unit"]
+
+# Inference lattice values.
+US, MS, NS, S = "us", "ms", "ns", "s"
+NUMBER = "number"  # literals / dimensionless — acceptable at any sink
+BARE = "bare"  # unit unprovable
+
+_TIME_UNITS = (US, MS, NS, S)
+
+#: identifier suffix → unit (checked longest-first, case-insensitive)
+_SUFFIXES = (
+    ("_usec", US), ("_us", US),
+    ("_msec", MS), ("_ms", MS),
+    ("_nsec", NS), ("_ns", NS),
+    ("_seconds", S), ("_secs", S), ("_sec", S), ("_s", S),
+)
+
+#: names that are microseconds by documented contract: the DES clock
+#: (``EventLoop.now``) and its absolute-time ``schedule(when, ...)`` input
+_KNOWN_US_NAMES = frozenset({"now", "when"})
+
+#: multiplying ``unit`` by this literal factor converts it to the value
+_MUL_CONVERSIONS = {
+    (S, 1e6): US, (S, 1_000_000): US,
+    (MS, 1e3): US, (MS, 1_000): US,
+    (S, 1e3): MS, (S, 1_000): MS,
+    (US, 1e3): NS, (US, 1_000): NS,
+    (MS, 1e6): NS, (MS, 1_000_000): NS,
+    (S, 1e9): NS, (S, 1_000_000_000): NS,
+}
+
+#: dividing ``unit`` by this literal factor converts it to the value
+_DIV_CONVERSIONS = {
+    (NS, 1e3): US, (NS, 1_000): US,
+    (US, 1e3): MS, (US, 1_000): MS,
+    (US, 1e6): S, (US, 1_000_000): S,
+    (MS, 1e3): S, (MS, 1_000): S,
+    (NS, 1e9): S, (NS, 1_000_000_000): S,
+}
+
+#: builtins that return the unit of their arguments
+_PROPAGATING_BUILTINS = frozenset(
+    {"min", "max", "abs", "float", "int", "round", "sum", "sorted", "list", "tuple"}
+)
+
+#: method names that return the unit of their receiver (array plumbing)
+_PROPAGATING_METHODS = frozenset(
+    {"tolist", "item", "sum", "max", "min", "mean", "copy", "astype", "ravel"}
+)
+
+#: ``np.<fn>(x, ...)`` that return the unit of their first argument
+_PROPAGATING_NP_FUNCS = frozenset(
+    {
+        "array", "asarray", "sort", "cumsum", "concatenate", "repeat",
+        "minimum", "maximum", "clip", "abs", "where", "diff", "append",
+    }
+)
+
+#: ``np.<fn>(...)`` producing contentless/zero arrays (unit-free)
+_NUMBER_NP_FUNCS = frozenset({"empty", "zeros", "ones", "full", "arange", "linspace"})
+
+#: dimensionless module constants (``math.inf`` etc.)
+_NUMBER_CONSTANTS = frozenset({"inf", "nan", "e", "pi", "tau"})
+
+
+def _name_unit(identifier: str) -> str:
+    lowered = identifier.lower()
+    if lowered in _KNOWN_US_NAMES:
+        return US
+    for suffix, unit in _SUFFIXES:
+        if lowered.endswith(suffix):
+            return unit
+    return BARE
+
+
+def _combine(units: list[str]) -> str:
+    """Unit of a container/reduction over ``units`` (NUMBER is neutral)."""
+    known = [u for u in units if u != NUMBER]
+    if not known:
+        return NUMBER
+    first = known[0]
+    return first if all(u == first for u in known) else BARE
+
+
+def _const_factor(node: ast.expr) -> float | None:
+    if isinstance(node, ast.Constant) and isinstance(node.value, (int, float)):
+        return float(node.value)
+    return None
+
+
+def infer_unit(node: ast.expr) -> str:
+    """Best-effort unit of ``node``: a time unit, NUMBER, or BARE."""
+    if isinstance(node, ast.Constant):
+        if node.value is None or isinstance(node.value, (int, float, bool)):
+            return NUMBER
+        return BARE
+    if isinstance(node, ast.Name):
+        return _name_unit(node.id)
+    if isinstance(node, ast.Attribute):
+        if node.attr in _NUMBER_CONSTANTS and isinstance(node.value, ast.Name):
+            return NUMBER
+        return _name_unit(node.attr)
+    if isinstance(node, ast.Subscript):
+        sl = node.slice
+        if isinstance(sl, ast.Constant) and isinstance(sl.value, str):
+            key_unit = _name_unit(sl.value)
+            if key_unit != BARE:
+                return key_unit
+        return infer_unit(node.value)
+    if isinstance(node, ast.UnaryOp):
+        return infer_unit(node.operand)
+    if isinstance(node, ast.BinOp):
+        return _binop_unit(node)
+    if isinstance(node, ast.IfExp):
+        return _combine([infer_unit(node.body), infer_unit(node.orelse)])
+    if isinstance(node, ast.BoolOp):
+        return _combine([infer_unit(v) for v in node.values])
+    if isinstance(node, (ast.Tuple, ast.List, ast.Set)):
+        return _combine([infer_unit(e) for e in node.elts])
+    if isinstance(node, ast.Dict):
+        return _combine([infer_unit(v) for v in node.values if v is not None])
+    if isinstance(node, ast.DictComp):
+        return infer_unit(node.value)
+    if isinstance(node, (ast.ListComp, ast.SetComp, ast.GeneratorExp)):
+        return infer_unit(node.elt)
+    if isinstance(node, ast.Starred):
+        return infer_unit(node.value)
+    if isinstance(node, ast.Call):
+        return _call_unit(node)
+    return BARE
+
+
+def _binop_unit(node: ast.BinOp) -> str:
+    left, right = infer_unit(node.left), infer_unit(node.right)
+    if isinstance(node.op, (ast.Add, ast.Sub)):
+        if left == NUMBER:
+            return right
+        if right == NUMBER:
+            return left
+        return left if left == right else BARE
+    if isinstance(node.op, ast.Mult):
+        times = [u for u in (left, right) if u in _TIME_UNITS]
+        if len(times) == 1:
+            unit = times[0]
+            other = node.right if left == unit else node.left
+            factor = _const_factor(other)
+            if factor is not None:
+                return _MUL_CONVERSIONS.get((unit, factor), unit)
+            return unit  # dimensionless scaling (count * per-op time)
+        if not times:
+            return _combine([left, right])
+        return BARE  # time * time is not a time
+    if isinstance(node.op, ast.Div):
+        if left in _TIME_UNITS:
+            factor = _const_factor(node.right)
+            if factor is not None:
+                return _DIV_CONVERSIONS.get((left, factor), left)
+            if right in _TIME_UNITS:
+                return NUMBER if left == right else BARE
+            return left  # time / dimensionless count
+        if left == NUMBER and right == NUMBER:
+            return NUMBER
+        return BARE
+    return BARE
+
+
+def _call_unit(node: ast.Call) -> str:
+    func = node.func
+    if isinstance(func, ast.Name):
+        if func.id in _PROPAGATING_BUILTINS:
+            return _combine([infer_unit(a) for a in node.args]) if node.args else NUMBER
+        if func.id == "field":  # dataclasses.field: unit of its default
+            for kw in node.keywords:
+                if kw.arg == "default":
+                    return infer_unit(kw.value)
+            return NUMBER
+        return _name_unit(func.id)
+    if isinstance(func, ast.Attribute):
+        base = func.value
+        if isinstance(base, ast.Name) and base.id in ("np", "numpy"):
+            if func.attr in _NUMBER_NP_FUNCS:
+                return NUMBER
+            if func.attr in _PROPAGATING_NP_FUNCS and node.args:
+                return infer_unit(node.args[0])
+            return BARE
+        if func.attr in ("reduceat", "reduce", "accumulate") and node.args:
+            # ufunc methods (np.maximum.reduceat, ...): data is args[0]
+            return infer_unit(node.args[0])
+        if func.attr == "exponential" and node.args:
+            # rng.exponential(scale): the scale parameter carries the unit
+            return infer_unit(node.args[0])
+        if func.attr in _PROPAGATING_METHODS:
+            return infer_unit(base)
+        return _name_unit(func.attr)
+    return BARE
+
+
+def _describe(unit: str) -> str:
+    if unit in _TIME_UNITS:
+        return f"a {unit!r}-suffixed (non-microsecond) value"
+    return "of unprovable unit (no _us suffix)"
+
+
+class UnitHygieneRule(Rule):
+    """R001: values reaching microsecond sinks must provably be microseconds."""
+
+    code = "R001"
+    summary = (
+        "a float flowing into a *_us parameter/field/return must come from "
+        "a *_us-suffixed name, literal, or correct unit conversion"
+    )
+
+    def check(self, module) -> Iterator:
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.Call):
+                yield from self._check_call(module, node)
+            elif isinstance(node, ast.Assign):
+                yield from self._check_assign(module, node)
+            elif isinstance(node, ast.AnnAssign) and node.value is not None:
+                yield from self._check_target(module, node.target, node.value)
+            elif isinstance(node, ast.AugAssign):
+                yield from self._check_target(module, node.target, node.value)
+            elif isinstance(node, ast.Dict):
+                yield from self._check_dict(module, node)
+            elif isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                yield from self._check_returns(module, node)
+            elif isinstance(node, ast.BinOp) and isinstance(
+                node.op, (ast.Add, ast.Sub)
+            ):
+                yield from self._check_mixed_arithmetic(module, node)
+
+    # ------------------------------------------------------------------
+    def _flag(self, module, node, sink: str, unit: str):
+        yield self.violation(
+            module,
+            node,
+            f"value flowing into microsecond sink '{sink}' is {_describe(unit)}",
+        )
+
+    def _check_value(self, module, sink_name: str, value: ast.expr):
+        unit = infer_unit(value)
+        if unit not in (US, NUMBER):
+            yield from self._flag(module, value, sink_name, unit)
+
+    def _check_call(self, module, node: ast.Call):
+        for kw in node.keywords:
+            if kw.arg and _name_unit(kw.arg) == US:
+                yield from self._check_value(module, kw.arg + "=", kw.value)
+
+    def _check_assign(self, module, node: ast.Assign):
+        for target in node.targets:
+            if isinstance(target, ast.Tuple) and isinstance(node.value, ast.Tuple):
+                for t, v in zip(target.elts, node.value.elts):
+                    yield from self._check_target(module, t, v)
+            else:
+                yield from self._check_target(module, target, node.value)
+
+    def _check_target(self, module, target: ast.expr, value: ast.expr):
+        name = None
+        if isinstance(target, ast.Name):
+            name = target.id
+        elif isinstance(target, ast.Attribute):
+            name = target.attr
+        if name is not None and _name_unit(name) == US:
+            yield from self._check_value(module, name, value)
+
+    def _check_dict(self, module, node: ast.Dict):
+        for key, value in zip(node.keys, node.values):
+            if (
+                key is not None
+                and isinstance(key, ast.Constant)
+                and isinstance(key.value, str)
+                and _name_unit(key.value) == US
+            ):
+                yield from self._check_value(module, repr(key.value), value)
+
+    def _check_returns(self, module, func: ast.FunctionDef):
+        if _name_unit(func.name) != US:
+            return
+        for node in ast.walk(func):
+            # nested defs keep their own name-based contract
+            if isinstance(node, ast.Return) and node.value is not None:
+                owner = _enclosing_function(func, node)
+                if owner is func:
+                    yield from self._check_value(
+                        module, f"return of {func.name}()", node.value
+                    )
+
+    def _check_mixed_arithmetic(self, module, node: ast.BinOp):
+        left, right = infer_unit(node.left), infer_unit(node.right)
+        if (
+            left in _TIME_UNITS
+            and right in _TIME_UNITS
+            and left != right
+        ):
+            yield self.violation(
+                module,
+                node,
+                f"adds/subtracts {left!r} and {right!r} quantities "
+                "without a unit conversion",
+            )
+
+
+def _enclosing_function(root: ast.FunctionDef, target: ast.AST):
+    """Innermost function of ``root`` containing ``target`` (or root)."""
+    owner = root
+    stack = [(root, root)]
+    while stack:
+        current_owner, node = stack.pop()
+        for child in ast.iter_child_nodes(node):
+            if child is target:
+                return current_owner
+            next_owner = (
+                child
+                if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef))
+                else current_owner
+            )
+            stack.append((next_owner, child))
+    return owner

@@ -18,20 +18,11 @@ The pipeline, end to end::
     run = keeper.run(trace)                               # Algorithm 2
 """
 
-from .strategies import (
-    Strategy,
-    StrategyKind,
-    StrategySpace,
-    compositions,
-    enumerate_strategies,
-)
-from .features import (
-    N_INTENSITY_LEVELS,
-    FeatureVector,
-    FeaturesCollector,
-    features_of_mix,
-)
+from .allocator import ChannelAllocator, OverheadReport, verified_allocate
+from .evaluation import QualityReport, evaluate_learner, holdout_samples
+from .features import N_INTENSITY_LEVELS, FeaturesCollector, FeatureVector, features_of_mix
 from .hybrid import PagePolicy, page_modes_for
+from .keeper import KeeperRun, PeriodicRun, SSDKeeper
 from .labeler import (
     Dataset,
     LabeledSample,
@@ -43,10 +34,8 @@ from .labeler import (
     random_specs,
     sweep_strategies,
 )
-from .evaluation import QualityReport, evaluate_learner, holdout_samples
 from .learner import LearnerReport, StrategyLearner
-from .allocator import ChannelAllocator, OverheadReport, verified_allocate
-from .keeper import KeeperRun, PeriodicRun, SSDKeeper
+from .strategies import Strategy, StrategyKind, StrategySpace, compositions, enumerate_strategies
 
 __all__ = [
     "Strategy",

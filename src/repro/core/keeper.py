@@ -28,7 +28,7 @@ from ..ssd.metrics import SimulationResult
 from ..ssd.request import IORequest, OpType
 from ..ssd.simulator import SSDSimulator
 from .allocator import ChannelAllocator, verified_allocate
-from .features import FeatureVector, FeaturesCollector
+from .features import FeaturesCollector, FeatureVector
 from .hybrid import PagePolicy, page_modes_for
 from .strategies import Strategy, StrategyKind
 
@@ -253,7 +253,7 @@ class SSDKeeper:
         )
 
         decision: dict = {
-            "features": None, "strategy": None, "at": None, "fallback": None,
+            "features": None, "strategy": None, "at_us": None, "fallback": None,
         }
 
         def switch() -> None:
@@ -272,7 +272,7 @@ class SSDKeeper:
             sim.controller.reallocate(channel_sets, page_modes)
             decision["features"] = features
             decision["strategy"] = strategy
-            decision["at"] = sim.loop.now
+            decision["at_us"] = sim.loop.now
             decision["fallback"] = fallback_reason
             if self.obs is not None:
                 self._log_decision(
@@ -280,7 +280,7 @@ class SSDKeeper:
                     window_requests, fallback_reason=fallback_reason,
                 )
 
-        sim.loop.schedule(window_end, switch)
+        sim.loop.schedule(window_end, switch)  # repro-lint: disable=R004 (window_end is an absolute pre-run boundary)
         result = sim.run(requests)
         if self.obs is not None and self.obs.decisions:
             # run-level realised latency for the one-shot decision
@@ -291,7 +291,7 @@ class SSDKeeper:
             result=result,
             features=decision["features"],
             strategy=decision["strategy"],
-            switched_at_us=decision["at"],
+            switched_at_us=decision["at_us"],
             fallback_reason=decision["fallback"],
         )
 
@@ -313,19 +313,20 @@ class SSDKeeper:
         reallocation took effect (== ``KeeperRun.switched_at_us``).
         """
         obs = self.obs
-        predicted = None
+        assert obs is not None  # every caller guards on self.obs
+        predicted_us = None
         if window_requests:
             replay = fast_simulate(
                 list(window_requests), self.config, channel_sets, page_modes,
                 faults=self.faults,
             )
-            predicted = replay.mean_total_us
+            predicted_us = replay.mean_total_us
         record = KeeperDecision(
             time_us=sim.loop.now,
             features=features,
             strategy=strategy.label,
             window_requests=observed if observed is not None else len(window_requests),
-            predicted_mean_us=predicted,
+            predicted_mean_us=predicted_us,
             fallback_reason=fallback_reason,
         )
         obs.decisions.append(record)
@@ -335,7 +336,7 @@ class SSDKeeper:
             args={
                 "strategy": strategy.label,
                 "features": features.to_array().tolist(),
-                "predicted_mean_us": predicted,
+                "predicted_mean_us": predicted_us,
             },
         )
         return record
@@ -392,11 +393,11 @@ class SSDKeeper:
             if obs is not None:
                 reads = sim.acc.op_totals(OpType.READ)
                 writes = sim.acc.op_totals(OpType.WRITE)
-                total = reads.total_us + writes.total_us
+                total_latency_us = reads.total_us + writes.total_us
                 count = reads.count + writes.count
-                delta_us = total - window_state["total_us"]
+                delta_us = total_latency_us - window_state["total_us"]
                 delta_n = count - window_state["count"]
-                window_state["total_us"] = total
+                window_state["total_us"] = total_latency_us
                 window_state["count"] = count
                 record = window_state["record"]
                 if record is not None and delta_n:
@@ -446,7 +447,7 @@ class SSDKeeper:
         )
         t = self.collect_window_us
         while t <= end + self.collect_window_us:
-            sim.loop.schedule(t, adapt)
+            sim.loop.schedule(t, adapt)  # repro-lint: disable=R004 (absolute pre-run window boundary)
             t += self.collect_window_us
         result = sim.run(requests)
         return PeriodicRun(result=result, decisions=decisions)

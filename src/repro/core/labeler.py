@@ -9,10 +9,10 @@ training set of Section V-B (the paper: 5,000 mixes x 42 strategies =
 
 from __future__ import annotations
 
-import zlib
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Callable
+import zlib
 
 import numpy as np
 
@@ -31,7 +31,7 @@ __all__ = [
     "LabeledSample",
     "Dataset",
     "sweep_strategies",
-    "objective_of",
+    "objective_us",
     "pick_label",
     "best_strategy",
     "random_specs",
@@ -198,7 +198,7 @@ def sweep_strategies(
     return results
 
 
-def objective_of(result: SimulationResult, objective: str) -> float:
+def objective_us(result: SimulationResult, objective: str) -> float:
     """The latency value a label minimises (see ``LabelerConfig.objective``)."""
     if objective == "mean-sum":
         return result.write.mean_us + result.read.mean_us
@@ -224,9 +224,9 @@ def best_strategy(
 ) -> LabeledSample:
     """Label one mixed workload from a single sweep (no replication)."""
     results = sweep_strategies(mixed, features, space, config)
-    totals = [objective_of(r, config.objective) for r in results]
-    label = pick_label(totals, config.tie_epsilon)
-    return LabeledSample(features=features, label=label, total_latencies_us=totals)
+    totals_us = [objective_us(r, config.objective) for r in results]
+    label = pick_label(totals_us, config.tie_epsilon)
+    return LabeledSample(features=features, label=label, total_latencies_us=totals_us)
 
 
 # ----------------------------------------------------------------------
@@ -371,7 +371,7 @@ def label_sample(
     """
     specs, total = random_specs(config, rng, intensity_level=intensity_level)
     base_seed = _spec_seed(specs, total)
-    sum_totals: np.ndarray | None = None
+    sum_totals_us: np.ndarray | None = None
     features: FeatureVector | None = None
     for rep in range(config.replications):
         mixed = synthesize_mix(specs, total_requests=total, seed=base_seed + rep)
@@ -380,14 +380,16 @@ def label_sample(
                 mixed, intensity_quantum=config.intensity_quantum
             )
         results = sweep_strategies(mixed, features, space, config)
-        totals = np.array([objective_of(r, config.objective) for r in results])
-        sum_totals = totals if sum_totals is None else sum_totals + totals
-    assert sum_totals is not None and features is not None
-    mean_totals = sum_totals / config.replications
+        totals_us = np.array([objective_us(r, config.objective) for r in results])
+        sum_totals_us = (
+            totals_us if sum_totals_us is None else sum_totals_us + totals_us
+        )
+    assert sum_totals_us is not None and features is not None
+    mean_totals_us = sum_totals_us / config.replications
     return LabeledSample(
         features=features,
-        label=pick_label(mean_totals, config.tie_epsilon),
-        total_latencies_us=mean_totals.tolist(),
+        label=pick_label(mean_totals_us, config.tie_epsilon),
+        total_latencies_us=mean_totals_us.tolist(),
     )
 
 

@@ -11,10 +11,9 @@ JSON file — the parameter blob the paper "sends to the FTL".
 
 from __future__ import annotations
 
-import json
 from dataclasses import dataclass
+import json
 from pathlib import Path
-
 
 from ..nn.network import MLP
 from ..nn.preprocessing import StandardScaler, train_test_split

@@ -23,9 +23,9 @@ ANN's class labels, so it must stay stable.
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 import enum
 import itertools
-from dataclasses import dataclass
 from typing import Sequence
 
 __all__ = [

@@ -1,24 +1,5 @@
 """Experiment harness: scales, caching, sweeps, and per-figure entry points."""
 
-from .scale import Scale
-from .cache import ArtifactCache, default_cache
-from .sweep import auto_processes, run_sweep
-from .reporting import banner, format_series, format_table, normalize
-from .experiments import (
-    MIX_COMPOSITIONS,
-    OPTIMIZER_VARIANTS,
-    build_dataset,
-    build_mixes,
-    fig2_motivation,
-    fig5_performance,
-    fig6_strategy_map,
-    labeler_config,
-    tab2_workloads,
-    tab5_allocations,
-    train_all,
-    trained_learner,
-    cached_learner_or_none,
-)
 from .ablations import (
     ablation_dataset_size,
     ablation_fastmodel,
@@ -27,6 +8,25 @@ from .ablations import (
     ablation_model_size,
     ablation_scheduling,
 )
+from .cache import ArtifactCache, default_cache
+from .experiments import (
+    MIX_COMPOSITIONS,
+    OPTIMIZER_VARIANTS,
+    build_dataset,
+    build_mixes,
+    cached_learner_or_none,
+    fig2_motivation,
+    fig5_performance,
+    fig6_strategy_map,
+    labeler_config,
+    tab2_workloads,
+    tab5_allocations,
+    train_all,
+    trained_learner,
+)
+from .reporting import banner, format_series, format_table, normalize
+from .scale import Scale
+from .sweep import auto_processes, run_sweep
 
 __all__ = [
     "Scale",

@@ -21,13 +21,7 @@ from ..core.allocator import ChannelAllocator
 from ..core.features import features_of_mix
 from ..core.hybrid import PagePolicy
 from ..core.keeper import SSDKeeper
-from ..core.labeler import (
-    LabelerConfig,
-    objective_of,
-    pick_label,
-    random_specs,
-    sweep_strategies,
-)
+from ..core.labeler import LabelerConfig, objective_us, pick_label, random_specs, sweep_strategies
 from ..core.learner import StrategyLearner
 from ..core.strategies import StrategySpace
 from ..nn.network import MLP
@@ -35,7 +29,7 @@ from ..nn.preprocessing import StandardScaler, train_test_split
 from ..nn.training import Trainer
 from ..workloads.mixer import synthesize_mix
 from .cache import ArtifactCache, default_cache
-from .experiments import build_mixes, labeler_config, trained_learner, build_dataset
+from .experiments import build_dataset, build_mixes, labeler_config, trained_learner
 from .scale import Scale
 
 __all__ = [
@@ -124,7 +118,7 @@ def _fastmodel_build(scale: Scale) -> dict:
         features = features_of_mix(mixed, intensity_quantum=cfg.intensity_quantum)
         fast = np.array(
             [
-                objective_of(r, cfg.objective)
+                objective_us(r, cfg.objective)
                 for r in sweep_strategies(mixed, features, space, cfg)
             ]
         )
@@ -138,7 +132,7 @@ def _fastmodel_build(scale: Scale) -> dict:
         )
         event = np.array(
             [
-                objective_of(r, cfg.objective)
+                objective_us(r, cfg.objective)
                 for r in sweep_strategies(mixed, features, space, event_cfg)
             ]
         )

@@ -9,7 +9,9 @@ Usage::
     python -m repro all --scale smoke
     python -m repro stats --trace run.jsonl --chrome-trace run.chrome.json
     python -m repro stats --json --metrics-out metrics.json
+    python -m repro stats --sanitize
     python -m repro faults --read-ber 0.02 --program-fail-rate 0.001
+    python -m repro lint src/repro/ssd --select R001,R004 --json
 
 Each experiment prints its regenerated table; expensive artifacts are
 cached under ``.repro-cache`` exactly as in the benches.  ``stats`` runs
@@ -19,7 +21,11 @@ export the structured event trace as JSONL and in Chrome trace format
 (loadable in ``chrome://tracing`` or Perfetto).  ``faults`` is the same
 instrumented run with the seeded NAND fault model switched on
 (``--read-ber`` / ``--program-fail-rate`` / ``--erase-fail-rate`` / ...);
-the report includes the ``faults.*`` counters.
+the report includes the ``faults.*`` counters.  ``--sanitize`` attaches
+the runtime :class:`~repro.analysis.Sanitizer` to the ``stats`` /
+``faults`` run (invariant checks on every event, grant, mapping op and GC
+pass).  ``lint`` runs the repro domain lints (R001-R004) and forwards its
+arguments to ``python -m repro.analysis``.
 """
 
 from __future__ import annotations
@@ -42,14 +48,14 @@ from .ablations import (
 )
 from .experiments import (
     MIX_COMPOSITIONS,
-    labeler_config,
-    trained_learner,
     fig2_motivation,
     fig5_performance,
     fig6_strategy_map,
+    labeler_config,
     tab2_workloads,
     tab5_allocations,
     train_all,
+    trained_learner,
 )
 from .reporting import banner, format_metrics, format_series, format_table
 from .scale import Scale
@@ -231,12 +237,20 @@ def _cmd_stats(scale: Scale, args: argparse.Namespace, faults=None) -> str:
     from ..obs import Observability
     from .experiments import stats_run
 
-    interval = args.utilization_interval
+    interval_us = args.utilization_interval  # repro-lint: disable=R001 (--utilization-interval is documented as microseconds)
     obs = Observability(
-        utilization_interval_us=interval if interval > 0 else None,
+        utilization_interval_us=interval_us if interval_us > 0 else None,
     )
-    result = stats_run(scale, obs=obs, faults=faults)
+    sanitizer = None
+    if args.sanitize:
+        from ..analysis import Sanitizer
+
+        sanitizer = Sanitizer()
+    result = stats_run(scale, obs=obs, faults=faults, sanitizer=sanitizer)
     notes: list[str] = []
+    if sanitizer is not None:
+        checks = ", ".join(f"{k} {v}" for k, v in sanitizer.stats().items())
+        notes.append(f"sanitizer: all invariants held ({checks})")
     if args.trace:
         written = obs.trace.write_jsonl(args.trace)
         notes.append(f"wrote {written} trace events to {args.trace}")
@@ -288,6 +302,13 @@ _COMMANDS: dict[str, Callable[[Scale], str]] = {
 
 def main(argv: list[str] | None = None) -> int:
     """Entry point of ``python -m repro``; returns a process exit code."""
+    if argv is None:
+        argv = sys.argv[1:]
+    if argv and argv[0] == "lint":
+        # the lint subcommand has its own argument surface; delegate
+        from ..analysis.__main__ import main as lint_main
+
+        return lint_main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Regenerate SSDKeeper paper tables and figures.",
@@ -297,7 +318,8 @@ def main(argv: list[str] | None = None) -> int:
         choices=[*_COMMANDS, "stats", "faults", "all"],
         help="which table/figure to regenerate ('all' runs everything; "
         "'stats' runs one instrumented simulation and reports its metrics; "
-        "'faults' is the same run under the seeded NAND fault model)",
+        "'faults' is the same run under the seeded NAND fault model; "
+        "'repro lint [paths]' runs the domain lints R001-R004)",
     )
     parser.add_argument(
         "--scale",
@@ -336,6 +358,13 @@ def main(argv: list[str] | None = None) -> int:
         "--json",
         action="store_true",
         help="dump the metrics export as JSON to stdout instead of tables",
+    )
+    obs_group.add_argument(
+        "--sanitize",
+        action="store_true",
+        help="attach the runtime sanitizer: assert event-time monotonicity, "
+        "resource mutual exclusion, mapping bijectivity and capacity "
+        "conservation throughout the run (stats/faults commands)",
     )
     fault_group = parser.add_argument_group("fault injection (faults command)")
     fault_group.add_argument(

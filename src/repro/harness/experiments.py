@@ -131,9 +131,9 @@ def _fig2_build(scale: Scale) -> dict:
     write_props = [round(0.1 * i, 1) for i in range(1, 10)]
     total = scale.fig2_requests
     window_s = total / FIG2_RATE_RPS
-    write_latency: dict[str, list[float]] = {s.label: [] for s in space}
-    read_latency: dict[str, list[float]] = {s.label: [] for s in space}
-    total_latency: dict[str, list[float]] = {s.label: [] for s in space}
+    write_latency_us: dict[str, list[float]] = {s.label: [] for s in space}
+    read_latency_us: dict[str, list[float]] = {s.label: [] for s in space}
+    total_latency_us: dict[str, list[float]] = {s.label: [] for s in space}
     for wp in write_props:
         writer = WorkloadSpec(
             name="writer",
@@ -175,15 +175,15 @@ def _fig2_build(scale: Scale) -> dict:
                 entry[2] += result.write.mean_us + result.read.mean_us
         for label, (w, r, t) in sums.items():
             reps = scale.fig2_replications
-            write_latency[label].append(w / reps)
-            read_latency[label].append(r / reps)
-            total_latency[label].append(t / reps)
+            write_latency_us[label].append(w / reps)
+            read_latency_us[label].append(r / reps)
+            total_latency_us[label].append(t / reps)
     return {
         "write_proportions": write_props,
         "strategies": [s.label for s in space],
-        "write_latency_us": write_latency,
-        "read_latency_us": read_latency,
-        "total_latency_us": total_latency,
+        "write_latency_us": write_latency_us,
+        "read_latency_us": read_latency_us,
+        "total_latency_us": total_latency_us,
     }
 
 
@@ -523,7 +523,9 @@ def tab2_workloads(*, sample_requests: int = 20_000, seed: int = 2) -> dict:
 # ----------------------------------------------------------------------
 # `repro stats` — one instrumented event-driven run
 # ----------------------------------------------------------------------
-def stats_run(scale: Scale, *, obs, requests: int | None = None, faults=None):
+def stats_run(
+    scale: Scale, *, obs, requests: int | None = None, faults=None, sanitizer=None
+):
     """Run one fully-instrumented event-driven simulation.
 
     A four-tenant synthetic mix (two write-dominated, two read-dominated
@@ -558,6 +560,7 @@ def stats_run(scale: Scale, *, obs, requests: int | None = None, faults=None):
     mixed = synthesize_mix(specs, total_requests=total, seed=11, name="stats")
     channel_sets = {wid: list(range(cfg.ssd.channels)) for wid in range(4)}
     sim = SSDSimulator(
-        cfg.ssd, channel_sets, record_latencies=True, obs=obs, faults=faults
+        cfg.ssd, channel_sets, record_latencies=True, obs=obs, faults=faults,
+        sanitizer=sanitizer,
     )
     return sim.run(mixed.requests)

@@ -15,8 +15,8 @@ stable across scales; only variance shrinks with size.
 
 from __future__ import annotations
 
-import os
 from dataclasses import dataclass
+import os
 
 __all__ = ["Scale"]
 

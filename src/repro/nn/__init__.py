@@ -6,27 +6,10 @@ ablations.  Gradient correctness is enforced by finite-difference checks in
 ``tests/nn/test_gradients.py``.
 """
 
-from .activations import (
-    Activation,
-    Identity,
-    Logistic,
-    ReLU,
-    Tanh,
-    get_activation,
-    softmax,
-)
-from .losses import Loss, MeanSquaredError, SoftmaxCrossEntropy, get_loss
+from . import serialization
+from .activations import Activation, Identity, Logistic, ReLU, Tanh, get_activation, softmax
 from .layers import Dense
-from .network import MLP, paper_network
-from .optimizers import (
-    AdaGrad,
-    Adam,
-    Optimizer,
-    RMSProp,
-    SGD,
-    SGDMomentum,
-    get_optimizer,
-)
+from .losses import Loss, MeanSquaredError, SoftmaxCrossEntropy, get_loss
 from .metrics import (
     ClassStats,
     accuracy,
@@ -35,17 +18,11 @@ from .metrics import (
     per_class_stats,
     top_k_accuracy,
 )
+from .network import MLP, paper_network
+from .optimizers import SGD, AdaGrad, Adam, Optimizer, RMSProp, SGDMomentum, get_optimizer
 from .preprocessing import StandardScaler, minibatches, one_hot, train_test_split
-from .schedules import (
-    ScheduledOptimizer,
-    constant,
-    cosine,
-    get_schedule,
-    step_decay,
-    warmup,
-)
+from .schedules import ScheduledOptimizer, constant, cosine, get_schedule, step_decay, warmup
 from .training import History, Trainer, train
-from . import serialization
 
 __all__ = [
     "Activation",

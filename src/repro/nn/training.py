@@ -10,8 +10,8 @@ the scikit-learn MLP the authors used counts its ``max_iter``.
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass, field
+import time
 
 import numpy as np
 
@@ -105,8 +105,8 @@ class Trainer:
             s_lr = obs.registry.series("train.lr")
             s_epoch_ms = obs.registry.series("train.epoch_ms")
             c_epochs = obs.registry.counter("train.epochs")
-        start = time.perf_counter()
-        epoch_start = start
+        start_s = time.perf_counter()
+        epoch_start_s = start_s
         for epoch in range(iterations):
             epoch_loss = 0.0
             batches = 0
@@ -122,7 +122,7 @@ class Trainer:
                 batches += 1
             history.loss.append(epoch_loss / max(1, batches))
             if obs is not None:
-                now = time.perf_counter()
+                now_s = time.perf_counter()
                 s_loss.append(epoch, history.loss[-1])
                 s_lr.append(
                     epoch,
@@ -131,8 +131,8 @@ class Trainer:
                         self.optimizer.learning_rate,
                     ),
                 )
-                s_epoch_ms.append(epoch, (now - epoch_start) * 1e3)
-                epoch_start = now
+                s_epoch_ms.append(epoch, (now_s - epoch_start_s) * 1e3)
+                epoch_start_s = now_s
                 c_epochs.inc()
             advance = getattr(self.optimizer, "advance", None)
             if advance is not None:
@@ -145,7 +145,7 @@ class Trainer:
                     s_acc.append(epoch, test_acc)
             if early_stop_loss is not None and history.loss[-1] < early_stop_loss:
                 break
-        history.training_time_ms = (time.perf_counter() - start) * 1e3
+        history.training_time_ms = (time.perf_counter() - start_s) * 1e3
         if obs is not None:
             obs.registry.gauge("train.time_ms").set(history.training_time_ms)
         return history

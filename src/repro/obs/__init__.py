@@ -29,22 +29,8 @@ from __future__ import annotations
 
 from .chrometrace import to_chrome_trace, write_chrome_trace
 from .profiler import UtilizationProfiler
-from .registry import (
-    DEFAULT_LATENCY_BUCKETS_US,
-    Counter,
-    Gauge,
-    Histogram,
-    MetricsRegistry,
-    Series,
-)
-from .trace import (
-    EVENT_NAMES,
-    NULL_RECORDER,
-    NullRecorder,
-    TraceEvent,
-    TraceRecorder,
-    match_pairs,
-)
+from .registry import DEFAULT_LATENCY_BUCKETS_US, Counter, Gauge, Histogram, MetricsRegistry, Series
+from .trace import EVENT_NAMES, NULL_RECORDER, NullRecorder, TraceEvent, TraceRecorder, match_pairs
 
 __all__ = [
     "Observability",

@@ -33,7 +33,7 @@ class UtilizationProfiler:
             raise ValueError("interval_us must be positive")
         self.interval_us = interval_us
         #: sample timestamps (end of each window, simulated us)
-        self.times: list[float] = []
+        self.times_us: list[float] = []
         #: one row per sample: busy fraction per channel / per die
         self.channel_busy: list[list[float]] = []
         self.die_busy: list[list[float]] = []
@@ -49,7 +49,7 @@ class UtilizationProfiler:
 
     @property
     def samples(self) -> int:
-        return len(self.times)
+        return len(self.times_us)
 
     # ------------------------------------------------------------------
     def attach(self, loop, channels: Sequence, dies: Sequence) -> None:
@@ -63,8 +63,8 @@ class UtilizationProfiler:
         self._loop = loop
         self._channels = channels
         self._dies = dies
-        self._last_ch = [c.busy_time for c in channels]
-        self._last_die = [d.busy_time for d in dies]
+        self._last_ch = [c.busy_time_us for c in channels]
+        self._last_die = [d.busy_time_us for d in dies]
         self._last_ts = loop.now
         loop.schedule(loop.now + self.interval_us, self._sample)
 
@@ -73,15 +73,15 @@ class UtilizationProfiler:
         now = loop.now
         window = now - self._last_ts
         if window > 0:
-            self.times.append(now)
+            self.times_us.append(now)
             ch_row = []
             for i, c in enumerate(self._channels):
-                busy = c.busy_time
+                busy = c.busy_time_us
                 ch_row.append((busy - self._last_ch[i]) / window)
                 self._last_ch[i] = busy
             die_row = []
             for i, d in enumerate(self._dies):
-                busy = d.busy_time
+                busy = d.busy_time_us
                 die_row.append((busy - self._last_die[i]) / window)
                 self._last_die[i] = busy
             self.channel_busy.append(ch_row)
@@ -99,26 +99,26 @@ class UtilizationProfiler:
     # ------------------------------------------------------------------
     def channel_series(self, channel: int) -> list[tuple[float, float]]:
         """``(t, busy_fraction)`` series for one channel."""
-        return [(t, row[channel]) for t, row in zip(self.times, self.channel_busy)]
+        return [(t, row[channel]) for t, row in zip(self.times_us, self.channel_busy)]
 
     def publish(self, registry) -> None:
         """Copy the profile into a metrics registry as series."""
         for ch in range(len(self._channels)):
             series = registry.series(f"util.channel.{ch}.busy")
             qseries = registry.series(f"util.channel.{ch}.queue")
-            for i, t in enumerate(self.times):
+            for i, t in enumerate(self.times_us):
                 series.append(t, self.channel_busy[i][ch])
                 qseries.append(t, float(self.channel_queue[i][ch]))
         for d in range(len(self._dies)):
             series = registry.series(f"util.die.{d}.busy")
-            for i, t in enumerate(self.times):
+            for i, t in enumerate(self.times_us):
                 series.append(t, self.die_busy[i][d])
 
     def to_dict(self) -> dict:
         """Plain-data export (embedded in metrics dumps)."""
         return {
             "interval_us": self.interval_us,
-            "times_us": list(self.times),
+            "times_us": list(self.times_us),
             "channel_busy": [list(r) for r in self.channel_busy],
             "die_busy": [list(r) for r in self.die_busy],
             "channel_queue": [list(r) for r in self.channel_queue],

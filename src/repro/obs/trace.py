@@ -24,8 +24,8 @@ JSONL schema::
 
 from __future__ import annotations
 
-import json
 from collections import deque
+import json
 from typing import Iterable
 
 __all__ = [

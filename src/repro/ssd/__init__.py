@@ -12,16 +12,16 @@ Public surface:
 """
 
 from .buffer import AccessResult, BufferConfig, BufferStats, WriteBuffer
-from .config import SSDConfig, KiB, MiB, GiB
-from .faults import FaultConfig, FaultExpectation, FaultInjector
-from .geometry import Geometry, PhysicalAddress
-from .request import IORequest, OpType, SubRequest
-from .timing import ServiceTimes
-from .metrics import LatencyAccumulator, OpStats, SimulationResult
+from .config import GiB, KiB, MiB, SSDConfig
 from .controller import FTLController
-from .simulator import SSDSimulator, simulate
 from .fastmodel import FastLatencyModel, fast_simulate
+from .faults import FaultConfig, FaultExpectation, FaultInjector
 from .ftl import PageAllocMode
+from .geometry import Geometry, PhysicalAddress
+from .metrics import LatencyAccumulator, OpStats, SimulationResult
+from .request import IORequest, OpType, SubRequest
+from .simulator import SSDSimulator, simulate
+from .timing import ServiceTimes
 
 __all__ = [
     "AccessResult",

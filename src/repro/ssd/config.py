@@ -146,8 +146,7 @@ class SSDConfig:
     @property
     def page_transfer_us(self) -> float:
         """Time to move one page over the channel bus, in microseconds."""
-        bytes_per_us = self.channel_bandwidth_mbps  # MB/s == bytes/us
-        return self.page_size / bytes_per_us
+        return self.page_size / self.channel_bandwidth_mbps  # repro-lint: disable=R001 (MB/s equals bytes/us, so bytes divided by it is microseconds)
 
     # ------------------------------------------------------------------
     # Constructors

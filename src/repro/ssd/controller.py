@@ -23,12 +23,7 @@ from .config import SSDConfig
 from .faults import FaultInjector, FaultWorkItem
 from .ftl.gc import GarbageCollector
 from .ftl.mapping import FlashArrayState, PlaneState
-from .ftl.page_alloc import (
-    LoadFn,
-    PageAllocMode,
-    StaticPagePlacer,
-    make_placer,
-)
+from .ftl.page_alloc import LoadFn, PageAllocMode, StaticPagePlacer, make_placer
 
 __all__ = ["FTLController"]
 
@@ -55,6 +50,7 @@ class FTLController:
         tenant_lpn_space: int | None = None,
         obs=None,
         faults: FaultInjector | None = None,
+        sanitizer=None,
     ) -> None:
         if not channel_sets:
             raise ValueError("channel_sets must name at least one workload")
@@ -67,6 +63,11 @@ class FTLController:
         #: optional :class:`repro.ssd.faults.FaultInjector`; when attached,
         #: programs and erases may fail and retire blocks
         self.faults = faults
+        #: optional :class:`repro.analysis.Sanitizer`; when attached, block
+        #: retirements and GC passes re-check conservation and bijectivity
+        self.sanitizer = sanitizer
+        if sanitizer is not None:
+            self.state.mapping.attach_sanitizer(sanitizer)
         self._planes_per_channel = (
             config.chips_per_channel * config.dies_per_chip * config.planes_per_die
         )
@@ -74,6 +75,7 @@ class FTLController:
             self.state,
             metrics=obs.registry if obs is not None else None,
             faults=faults,
+            sanitizer=sanitizer,
         )
         self.load_fn = load_fn or _idle_load
         self.channel_sets = {wid: sorted(set(chs)) for wid, chs in channel_sets.items()}
@@ -177,6 +179,7 @@ class FTLController:
         or when the plane can no longer spare a replacement block — the
         write moves to another plane of the tenant's channel set.
         """
+        assert self.faults is not None  # only dispatched on the faulted path
         attempts = 0
         while True:
             channel = self.channel_of_plane(plane_index)
@@ -195,11 +198,14 @@ class FTLController:
         self, plane: PlaneState, block: int, work: list
     ) -> FaultWorkItem:
         """Retire ``block`` after a program failure; relocate its valid data."""
+        assert self.faults is not None  # only reached from the faulted path
         if block != plane.active_block:
             # The failure hit the head of the free pool (active was full):
             # the block is erased and empty — retire it outright.
             plane.retire_free_block(block)
             self.faults.note_retirement(plane.pages_per_block)
+            if self.sanitizer is not None:
+                self.sanitizer.after_retire(self.state, plane, block)
             return FaultWorkItem(plane.plane_index, block, 0)
         if plane.free_blocks == 0:
             # Need a replacement active block before we can retire this one.
@@ -219,6 +225,8 @@ class FTLController:
             moves += 1
         plane.retire_block(block, programmed_pages=programmed)
         self.faults.note_retirement(plane.pages_per_block)
+        if self.sanitizer is not None:
+            self.sanitizer.after_retire(self.state, plane, block)
         return FaultWorkItem(plane.plane_index, block, moves)
 
     def resolve_read(self, workload_id: int, lpn: int) -> int:

@@ -33,6 +33,9 @@ class EventLoop:
         self._seq = count()
         self.now = 0.0
         self.events_processed = 0
+        #: optional :class:`repro.analysis.Sanitizer`; when set, every event
+        #: dispatch is checked for simulated-time monotonicity.
+        self.sanitizer = None
 
     #: scheduling times this close below ``now`` are float-rounding residue
     #: from summed phase durations, not logic errors; they clamp to ``now``.
@@ -58,6 +61,8 @@ class EventLoop:
             if until is not None and when > until:
                 break
             heapq.heappop(self._heap)
+            if self.sanitizer is not None:
+                self.sanitizer.on_event(when, self.now)
             self.now = when
             self.events_processed += 1
             callback()
@@ -77,7 +82,8 @@ class Resource:
 
     __slots__ = (
         "loop", "name", "busy", "free_at", "_waiters", "_seq",
-        "busy_time", "grants", "wait_time", "trace", "kind",
+        "busy_time_us", "grants", "wait_time_us", "trace", "kind",
+        "sanitizer",
     )
 
     def __init__(self, loop: EventLoop, name: str = "", kind: str = "resource") -> None:
@@ -88,30 +94,33 @@ class Resource:
         self._waiters: list[tuple[tuple, int, float, float, Callable[[float], None]]] = []
         self._seq = count()
         # --- statistics ---
-        self.busy_time = 0.0
+        self.busy_time_us = 0.0
         self.grants = 0
-        self.wait_time = 0.0
+        self.wait_time_us = 0.0
         # --- observability (no-op unless a recorder is attached) ---
         #: optional :class:`repro.obs.trace.TraceRecorder`; when set, each
         #: grant emits ``{kind}_acquire`` (with the service duration) and
         #: each release emits ``{kind}_release``.
         self.trace = None
         self.kind = kind
+        #: optional :class:`repro.analysis.Sanitizer`; when set, every
+        #: grant is checked for mutual exclusion against shadow state.
+        self.sanitizer = None
 
-    def acquire(self, priority: tuple, duration: float, on_grant: Callable[[float], None]) -> None:
-        """Request the resource for ``duration`` at ``priority`` (lower first).
+    def acquire(self, priority: tuple, duration_us: float, on_grant: Callable[[float], None]) -> None:
+        """Request the resource for ``duration_us`` at ``priority`` (lower first).
 
-        ``on_grant(start_time)`` fires when the job begins service; the
-        resource auto-releases at ``start_time + duration``.
+        ``on_grant(start_us)`` fires when the job begins service; the
+        resource auto-releases at ``start_us + duration_us``.
         """
-        if duration < 0:
+        if duration_us < 0:
             raise ValueError("duration must be non-negative")
         if not self.busy:
-            self._grant(self.loop.now, duration, on_grant, enqueued=self.loop.now)
+            self._grant(self.loop.now, duration_us, on_grant, enqueued_us=self.loop.now)
         else:
             heapq.heappush(
                 self._waiters,
-                (priority, next(self._seq), self.loop.now, duration, on_grant),
+                (priority, next(self._seq), self.loop.now, duration_us, on_grant),
             )
 
     @property
@@ -119,18 +128,20 @@ class Resource:
         """Number of jobs currently waiting (excludes the holder)."""
         return len(self._waiters)
 
-    def _grant(self, start: float, duration: float, on_grant: Callable[[float], None], enqueued: float) -> None:
+    def _grant(self, start_us: float, duration_us: float, on_grant: Callable[[float], None], enqueued_us: float) -> None:
+        if self.sanitizer is not None:
+            self.sanitizer.on_grant(self, start_us, duration_us)
         self.busy = True
-        self.free_at = start + duration
-        self.busy_time += duration
+        self.free_at = start_us + duration_us
+        self.busy_time_us += duration_us
         self.grants += 1
-        self.wait_time += start - enqueued
+        self.wait_time_us += start_us - enqueued_us
         if self.trace is not None:
             self.trace.emit(
-                start, f"{self.kind}_acquire", self.name, "resource",
-                dur_us=duration, args={"wait_us": start - enqueued},
+                start_us, f"{self.kind}_acquire", self.name, "resource",
+                dur_us=duration_us, args={"wait_us": start_us - enqueued_us},
             )
-        on_grant(start)
+        on_grant(start_us)
         self.loop.schedule(self.free_at, self._release)
 
     def _release(self) -> None:
@@ -140,11 +151,11 @@ class Resource:
                 self.loop.now, f"{self.kind}_release", self.name, "resource"
             )
         if self._waiters:
-            _, _, enqueued, duration, on_grant = heapq.heappop(self._waiters)
-            self._grant(self.loop.now, duration, on_grant, enqueued=enqueued)
+            _, _, enqueued_us, duration_us, on_grant = heapq.heappop(self._waiters)
+            self._grant(self.loop.now, duration_us, on_grant, enqueued_us=enqueued_us)
 
-    def utilization(self, elapsed: float) -> float:
-        """Fraction of ``elapsed`` this resource spent busy."""
-        if elapsed <= 0:
+    def utilization(self, elapsed_us: float) -> float:
+        """Fraction of ``elapsed_us`` this resource spent busy."""
+        if elapsed_us <= 0:
             return 0.0
-        return min(1.0, self.busy_time / elapsed)
+        return min(1.0, self.busy_time_us / elapsed_us)

@@ -123,7 +123,7 @@ class FastLatencyModel:
             )
 
         lengths = np.array([r.length for r in ordered], dtype=np.int64)
-        req_arrival = np.array([r.arrival_us for r in ordered])
+        req_arrival_us = np.array([r.arrival_us for r in ordered])
         req_op = np.array([int(r.op) for r in ordered], dtype=np.int8)
         req_wid = np.array([r.workload_id for r in ordered], dtype=np.int64)
         req_lpn = np.array([r.lpn for r in ordered], dtype=np.int64)
@@ -135,7 +135,7 @@ class FastLatencyModel:
             np.cumsum(lengths) - lengths, lengths
         )
         sub_lpn = req_lpn[req_index] + offsets
-        sub_arrival = req_arrival[req_index]
+        sub_arrival_us = req_arrival_us[req_index]
         sub_op = req_op[req_index]
         sub_wid = req_wid[req_index]
 
@@ -165,12 +165,12 @@ class FastLatencyModel:
         die_idx = plane_idx // self.config.planes_per_die
         chan_idx = plane_idx // self._planes_per_channel
 
-        ends = self._timeline(sub_arrival, sub_op, die_idx, chan_idx)
+        ends_us = self._timeline_us(sub_arrival_us, sub_op, die_idx, chan_idx)
 
         # Request latency = slowest page.
         starts = np.cumsum(lengths) - lengths
-        req_end = np.maximum.reduceat(ends, starts)
-        latencies = req_end - req_arrival
+        req_end_us = np.maximum.reduceat(ends_us, starts)
+        latencies_us = req_end_us - req_arrival_us
 
         acc = LatencyAccumulator(record_latencies=self.record_latencies)
         for wid in sorted(self.channel_sets):
@@ -178,11 +178,11 @@ class FastLatencyModel:
                 mask = (req_wid == wid) & (req_op == int(op))
                 if not mask.any():
                     continue
-                acc.set_stats(wid, op, _bulk_stats(latencies[mask], self.record_latencies))
+                acc.set_stats(wid, op, _bulk_stats(latencies_us[mask], self.record_latencies))
 
         result = build_result(
             acc,
-            makespan_us=float(req_end.max()),
+            makespan_us=float(req_end_us.max()),
             requests=n_req,
             subrequests=total,
         )
@@ -197,11 +197,11 @@ class FastLatencyModel:
             ):
                 mask = req_op == int(op)
                 if mask.any():
-                    reg.histogram(name).observe_many(latencies[mask].tolist())
+                    reg.histogram(name).observe_many(latencies_us[mask].tolist())
         return result
 
     # ------------------------------------------------------------------
-    def _timeline(
+    def _timeline_us(
         self,
         arrival: np.ndarray,
         op: np.ndarray,
@@ -228,7 +228,7 @@ class FastLatencyModel:
             write_die *= self.fault_expectation.write_die_multiplier
         dies = [_GapTimeline() for _ in range(self.config.dies)]
         chans = [_GapTimeline() for _ in range(self.config.channels)]
-        ends = np.empty(len(arrival))
+        ends_us = np.empty(len(arrival))
         arrival_l = arrival.tolist()
         op_l = op.tolist()
         die_l = die_idx.tolist()
@@ -244,8 +244,8 @@ class FastLatencyModel:
             else:
                 de = die.place(a, read_die)
                 e = chan.place(de, read_bus)
-            ends[i] = e
-        return ends
+            ends_us[i] = e
+        return ends_us
 
 
 class _GapTimeline:
@@ -305,18 +305,18 @@ class _GapTimeline:
         return end
 
 
-def _bulk_stats(latencies: np.ndarray, record: bool):
+def _bulk_stats(latencies_us: np.ndarray, record: bool):
     """Build an OpStats from an array in one shot."""
     from .metrics import OpStats
 
     stats = OpStats(
-        count=int(latencies.size),
-        total_us=float(latencies.sum()),
-        max_us=float(latencies.max()),
-        min_us=float(latencies.min()),
+        count=int(latencies_us.size),
+        total_us=float(latencies_us.sum()),
+        max_us=float(latencies_us.max()),
+        min_us=float(latencies_us.min()),
     )
     if record:
-        stats.samples = latencies.tolist()
+        stats.samples = latencies_us.tolist()
     return stats
 
 

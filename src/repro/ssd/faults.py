@@ -31,8 +31,8 @@ failed-request surfacing).
 
 from __future__ import annotations
 
-import random
 from dataclasses import dataclass
+import random
 
 __all__ = ["FaultConfig", "FaultInjector", "FaultWorkItem", "ReadOutcome"]
 

@@ -7,14 +7,9 @@ block with the fewest valid pages when the plane's free-block pool drops
 below the configured threshold.
 """
 
-from .mapping import MappingTable, PlaneState, FlashArrayState
-from .page_alloc import (
-    PageAllocMode,
-    StaticPagePlacer,
-    DynamicPagePlacer,
-    make_placer,
-)
 from .gc import GarbageCollector, GCWorkItem
+from .mapping import FlashArrayState, MappingTable, PlaneState
+from .page_alloc import DynamicPagePlacer, PageAllocMode, StaticPagePlacer, make_placer
 from .wear import WearTracker
 
 __all__ = [

@@ -49,11 +49,16 @@ class GCWorkItem:
 class GarbageCollector:
     """Greedy (min-valid-pages) victim selection per plane."""
 
-    def __init__(self, state: FlashArrayState, *, metrics=None, faults=None) -> None:
+    def __init__(
+        self, state: FlashArrayState, *, metrics=None, faults=None, sanitizer=None
+    ) -> None:
         self.state = state
         #: optional :class:`repro.ssd.faults.FaultInjector`; when attached,
         #: erases may fail and retire their block
         self.faults = faults
+        #: optional :class:`repro.analysis.Sanitizer`; when attached, every
+        #: reclaimed block re-checks conservation and mapping bijectivity
+        self.sanitizer = sanitizer
         cfg = state.config
         self._planes_per_channel = (
             cfg.chips_per_channel * cfg.dies_per_chip * cfg.planes_per_die
@@ -76,16 +81,23 @@ class GarbageCollector:
         A victim that is still fully valid reclaims nothing (the copyback
         consumes exactly as many pages as the erase frees), so it is not
         eligible.  Bad blocks are never sealed, so they are never candidates.
+
+        Ties on valid count break toward the least-erased block, then the
+        lowest index — a fully deterministic order (bare set iteration
+        would let the victim, and thus the whole downstream timeline, vary
+        with the process hash seed) that also keeps reclaim pressure from
+        hammering one block.
         """
         best_block: int | None = None
-        best_valid = plane.pages_per_block  # full block == not worth it
-        for block in plane.sealed_blocks():
+        best_key: tuple[int, int, int] | None = None
+        for block in sorted(plane.sealed_blocks()):
             valid = plane.valid_count[block]
-            if valid < best_valid:
-                best_valid = valid
+            if valid >= plane.pages_per_block:
+                continue  # full block == not worth it
+            key = (valid, plane.erase_count[block], block)
+            if best_key is None or key < best_key:
+                best_key = key
                 best_block = block
-                if valid == 0:
-                    break
         return best_block
 
     def maybe_collect(self, plane: PlaneState) -> list[GCWorkItem]:
@@ -132,4 +144,6 @@ class GarbageCollector:
         self.pages_moved += moves
         if self._c_pages_moved is not None:
             self._c_pages_moved.inc(moves)
+        if self.sanitizer is not None:
+            self.sanitizer.after_gc(self.state, plane)
         return GCWorkItem(plane.plane_index, victim, moves, retired=retired)

@@ -245,11 +245,17 @@ class PlaneState:
 class MappingTable:
     """Bidirectional LPN↔PPN map with overwrite semantics."""
 
-    __slots__ = ("_l2p", "_p2l")
+    __slots__ = ("_l2p", "_p2l", "_sanitizer")
 
     def __init__(self) -> None:
         self._l2p: dict[int, int] = {}
         self._p2l: dict[int, int] = {}
+        #: optional :class:`repro.analysis.Sanitizer`; when attached, every
+        #: bind/unbind re-checks the bijection incrementally
+        self._sanitizer = None
+
+    def attach_sanitizer(self, sanitizer) -> None:
+        self._sanitizer = sanitizer
 
     def __len__(self) -> int:
         return len(self._l2p)
@@ -274,12 +280,16 @@ class MappingTable:
             del self._p2l[old]
         self._l2p[lpn] = ppn
         self._p2l[ppn] = lpn
+        if self._sanitizer is not None:
+            self._sanitizer.on_bind(self, lpn, ppn)
         return old
 
     def unbind_ppn(self, ppn: int) -> int:
         """Remove the mapping entry at ``ppn`` (GC move source). Returns LPN."""
         lpn = self._p2l.pop(ppn)
         del self._l2p[lpn]
+        if self._sanitizer is not None:
+            self._sanitizer.on_unbind(self, lpn, ppn)
         return lpn
 
 

@@ -9,8 +9,8 @@ and write latency (Section III-B), reproduced here as
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass, field
+import math
 from typing import ClassVar
 
 from .request import OpType

@@ -9,8 +9,8 @@ the request depends on the slowest chip access").
 
 from __future__ import annotations
 
-import enum
 from dataclasses import dataclass, field
+import enum
 
 __all__ = ["OpType", "IORequest", "SubRequest"]
 

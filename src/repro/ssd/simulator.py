@@ -37,12 +37,12 @@ __all__ = ["SSDSimulator", "simulate"]
 class _InFlight:
     """Book-keeping for one host request while its pages are in service."""
 
-    __slots__ = ("request", "remaining", "last_end", "failed")
+    __slots__ = ("request", "remaining", "last_end_us", "failed")
 
     def __init__(self, request: IORequest) -> None:
         self.request = request
         self.remaining = request.length
-        self.last_end = request.arrival_us
+        self.last_end_us = request.arrival_us
         self.failed = False
 
 
@@ -81,6 +81,7 @@ class SSDSimulator:
         buffer: "BufferConfig | None" = None,
         obs=None,
         faults: "FaultConfig | FaultInjector | None" = None,
+        sanitizer=None,
     ) -> None:
         self.config = config
         #: optional callback fired with each request at its submission time
@@ -100,6 +101,14 @@ class SSDSimulator:
         ]
         self._planes_per_die = config.planes_per_die
         self.obs = obs
+        #: optional :class:`repro.analysis.Sanitizer`; when attached the
+        #: event loop, every resource, the mapping table and the GC check
+        #: their invariants on each step.  ``None`` costs one pointer test.
+        self.sanitizer = sanitizer
+        if sanitizer is not None:
+            self.loop.sanitizer = sanitizer
+            for res in (*self.channels, *self.dies):
+                res.sanitizer = sanitizer
         #: optional fault injector (seeded NAND error model); ``None`` costs
         #: one ``is not None`` branch per operation
         if faults is None or isinstance(faults, FaultInjector):
@@ -124,6 +133,7 @@ class SSDSimulator:
             load_fn=self._die_load,
             obs=obs,
             faults=self.faults,
+            sanitizer=sanitizer,
         )
         #: optional DRAM write-back buffer in front of the FTL
         self.buffer = WriteBuffer(buffer) if buffer is not None else None
@@ -161,13 +171,13 @@ class SSDSimulator:
         Meaningful after :meth:`run`; the report is what the examples print
         to show where an allocation is bottlenecked.
         """
-        elapsed = self.loop.now
+        elapsed_us = self.loop.now
         return {
-            "makespan_us": elapsed,
-            "channels": [c.utilization(elapsed) for c in self.channels],
-            "dies": [d.utilization(elapsed) for d in self.dies],
-            "channel_wait_us": sum(c.wait_time for c in self.channels),
-            "die_wait_us": sum(d.wait_time for d in self.dies),
+            "makespan_us": elapsed_us,
+            "channels": [c.utilization(elapsed_us) for c in self.channels],
+            "dies": [d.utilization(elapsed_us) for d in self.dies],
+            "channel_wait_us": sum(c.wait_time_us for c in self.channels),
+            "die_wait_us": sum(d.wait_time_us for d in self.dies),
         }
 
     def _die_of_ppn(self, ppn: int) -> Resource:
@@ -181,7 +191,8 @@ class SSDSimulator:
         """Simulate ``requests`` (any order; sorted internally) to completion."""
         ordered = sorted(requests, key=lambda r: r.arrival_us)
         for req in ordered:
-            self.loop.schedule(req.arrival_us, self._make_submit(req))
+            # trace arrival timestamps are absolute simulated times
+            self.loop.schedule(req.arrival_us, self._make_submit(req))  # repro-lint: disable=R004 (trace arrivals are absolute times)
         obs = self.obs
         if obs is not None and obs.utilization_interval_us is not None and ordered:
             from ..obs.profiler import UtilizationProfiler
@@ -199,8 +210,8 @@ class SSDSimulator:
             gc_collections=self.controller.gc.collections,
             gc_pages_moved=self.controller.gc.pages_moved,
             failed_reads=self.failed_reads,
-            die_wait_us=sum(d.wait_time for d in self.dies),
-            channel_wait_us=sum(c.wait_time for c in self.channels),
+            die_wait_us=sum(d.wait_time_us for d in self.dies),
+            channel_wait_us=sum(c.wait_time_us for c in self.channels),
             events=self.loop.events_processed,
             extras={
                 "seeded_pages": self.controller.seeded_pages,
@@ -227,6 +238,7 @@ class SSDSimulator:
 
     def _publish_metrics(self, result: SimulationResult) -> None:
         """End-of-run registry publication (only when obs is attached)."""
+        assert self.obs is not None
         reg = self.obs.registry
         reg.counter("sim.requests").value = self.requests_done
         reg.counter("sim.subrequests").value = self.subrequests_done
@@ -236,10 +248,10 @@ class SSDSimulator:
         reg.gauge("sim.total_latency_us").set(result.total_latency_us)
         reg.gauge("sim.channel_wait_us").set(result.channel_wait_us)
         reg.gauge("sim.die_wait_us").set(result.die_wait_us)
-        elapsed = result.makespan_us
+        elapsed_us = result.makespan_us
         for res in (*self.channels, *self.dies):
             reg.gauge(f"util.{res.name}.busy_fraction").set(
-                res.utilization(elapsed)
+                res.utilization(elapsed_us)
             )
         if self.buffer is not None:
             self.buffer.stats.publish(reg)
@@ -342,7 +354,7 @@ class SSDSimulator:
             if outcome.retries:
                 # Each ECC retry re-senses the array: the die stays busy for
                 # one extra command+tR round per retry.
-                die_us = t.read_die_with_retries(outcome.retries)
+                die_us = t.read_die_with_retries_us(outcome.retries)
                 if self._trace is not None:
                     self._trace.emit(
                         self.loop.now, "read_retry", die.name, "faults",
@@ -445,11 +457,11 @@ class SSDSimulator:
         self.subrequests_done += 1
         if failed:
             flight.failed = True
-        if flight.last_end < self.loop.now:
-            flight.last_end = self.loop.now
+        if flight.last_end_us < self.loop.now:
+            flight.last_end_us = self.loop.now
         if flight.remaining == 0:
             req = flight.request
-            req.complete_us = flight.last_end
+            req.complete_us = flight.last_end_us
             if flight.failed:
                 # Unrecoverable read: the request surfaces as failed, and its
                 # latency is excluded from the success statistics.
@@ -471,10 +483,11 @@ def simulate(
     record_latencies: bool = False,
     obs=None,
     faults: "FaultConfig | FaultInjector | None" = None,
+    sanitizer=None,
 ) -> SimulationResult:
     """One-shot convenience wrapper around :class:`SSDSimulator`."""
     sim = SSDSimulator(
         config, channel_sets, page_modes, record_latencies=record_latencies,
-        obs=obs, faults=faults,
+        obs=obs, faults=faults, sanitizer=sanitizer,
     )
     return sim.run(requests)

@@ -57,7 +57,7 @@ class ServiceTimes:
         """Die occupancy of a read: command + array sense."""
         return self.command_us + self.read_flash_us
 
-    def read_die_with_retries(self, retries: int) -> float:
+    def read_die_with_retries_us(self, retries: int) -> float:
         """Die occupancy of a read that needed ``retries`` ECC read retries.
 
         Each retry re-issues the command and re-senses the array with tuned

@@ -9,10 +9,11 @@ Typical flow::
     mixed = synthesize_mix(specs, total_requests=10_000, seed=1)
 """
 
-from .spec import WorkloadSpec
-from .synthetic import generate, generate_arrays
+from . import msr, traces
 from .mixer import MixedWorkload, mix, synthesize_mix
+from .spec import WorkloadSpec
 from .stats import TraceStats, analyze, per_workload
+from .synthetic import generate, generate_arrays
 from .transform import (
     clone,
     remap_workloads,
@@ -21,7 +22,6 @@ from .transform import (
     shift_time,
     slice_window,
 )
-from . import msr, traces
 
 __all__ = [
     "WorkloadSpec",

@@ -11,8 +11,8 @@ it, which is what the features collector and the experiment harness consume.
 
 from __future__ import annotations
 
-import heapq
 from dataclasses import dataclass, field
+import heapq
 from typing import Sequence
 
 from ..ssd.request import IORequest

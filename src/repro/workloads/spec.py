@@ -70,7 +70,7 @@ class WorkloadSpec:
 
     @property
     def mean_interarrival_us(self) -> float:
-        return 1e6 / self.rate_rps
+        return 1e6 / self.rate_rps  # repro-lint: disable=R001 (1/rps is seconds, so 1e6/rps is microseconds)
 
     def scaled_rate(self, factor: float) -> "WorkloadSpec":
         """Copy with the arrival rate multiplied by ``factor``."""

@@ -54,12 +54,12 @@ def analyze(requests: Sequence[IORequest]) -> TraceStats:
     if not requests:
         raise ValueError("cannot analyze an empty trace")
     ordered = sorted(requests, key=lambda r: r.arrival_us)
-    arrivals = np.array([r.arrival_us for r in ordered])
+    arrivals_us = np.array([r.arrival_us for r in ordered])
     lengths = np.array([r.length for r in ordered])
     writes = sum(1 for r in ordered if not r.is_read)
 
-    duration = float(arrivals[-1] - arrivals[0])
-    gaps = np.diff(arrivals)
+    duration_us = float(arrivals_us[-1] - arrivals_us[0])
+    gaps = np.diff(arrivals_us)
     positive = gaps[gaps > 0]
     cv = float(positive.std() / positive.mean()) if positive.size > 1 else 0.0
 
@@ -79,8 +79,8 @@ def analyze(requests: Sequence[IORequest]) -> TraceStats:
     return TraceStats(
         requests=len(ordered),
         pages=int(lengths.sum()),
-        duration_us=duration,
-        rate_rps=float(len(ordered) / duration * 1e6) if duration > 0 else 0.0,
+        duration_us=duration_us,
+        rate_rps=float(len(ordered) / duration_us * 1e6) if duration_us > 0 else 0.0,
         write_ratio=writes / len(ordered),
         mean_request_pages=float(lengths.mean()),
         max_request_pages=int(lengths.max()),

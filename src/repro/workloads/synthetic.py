@@ -3,7 +3,7 @@
 The generator produces the statistical properties the SSDKeeper experiments
 depend on:
 
-* **arrival intensity** — exponential inter-arrivals at the spec's rate, with
+* **arrival intensity** — exponential inter-arrivals_us at the spec's rate, with
   an optional hyper-exponential stretch for burstiness;
 * **read/write mix** — Bernoulli per request at the spec's write ratio;
 * **request sizes** — geometric with the spec's mean, capped at the max
@@ -63,21 +63,21 @@ def generate_arrays(
     if count == 0:
         return empty
 
-    # Arrivals: exponential gaps; burstiness mixes a short and a long mode.
-    mean_gap = spec.mean_interarrival_us
+    # Arrivals: exponential gaps_us; burstiness mixes a short and a long mode.
+    mean_gap_us = spec.mean_interarrival_us
     if spec.burstiness > 1.0:
         # Two-phase hyper-exponential with the same mean: a fraction p of
-        # gaps come from a mode `burstiness` times longer.
+        # gaps_us come from a mode `burstiness` times longer.
         p_long = 0.1
         long_scale = spec.burstiness
         short_scale = (1.0 - p_long * long_scale) / (1.0 - p_long)
         short_scale = max(short_scale, 0.05)
         is_long = rng.random(count) < p_long
-        scales = np.where(is_long, long_scale, short_scale) * mean_gap
-        gaps = rng.exponential(scales)
+        scales_us = np.where(is_long, long_scale, short_scale) * mean_gap_us
+        gaps_us = rng.exponential(scales_us)
     else:
-        gaps = rng.exponential(mean_gap, size=count)
-    arrival = start_us + np.cumsum(gaps)
+        gaps_us = rng.exponential(mean_gap_us, size=count)
+    arrival_us = start_us + np.cumsum(gaps_us)
 
     # Read/write mix.
     ops = (rng.random(count) < spec.write_ratio).astype(np.int8)
@@ -108,7 +108,7 @@ def generate_arrays(
         cursor += len_list[i]
 
     _ = workload_id  # column layout is id-free; id is attached at materialise
-    return dict(arrival_us=arrival, op=ops, lpn=lpns, length=lengths)
+    return dict(arrival_us=arrival_us, op=ops, lpn=lpns, length=lengths)
 
 
 def generate(
@@ -123,17 +123,17 @@ def generate(
     cols = generate_arrays(
         spec, count, workload_id=workload_id, seed=seed, start_us=start_us
     )
-    arrivals = cols["arrival_us"].tolist()
+    arrivals_us = cols["arrival_us"].tolist()
     ops = cols["op"].tolist()
     lpns = cols["lpn"].tolist()
     lengths = cols["length"].tolist()
     return [
         IORequest(
-            arrival_us=arrivals[i],
+            arrival_us=arrivals_us[i],
             workload_id=workload_id,
             op=OpType(ops[i]),
             lpn=lpns[i],
             length=lengths[i],
         )
-        for i in range(len(arrivals))
+        for i in range(len(arrivals_us))
     ]

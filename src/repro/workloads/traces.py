@@ -22,9 +22,9 @@ to restore the raise-on-first-error behaviour.
 from __future__ import annotations
 
 import io
-import warnings
 from pathlib import Path
 from typing import Iterable, Iterator, TextIO
+import warnings
 
 from ..ssd.request import IORequest, OpType
 
@@ -83,7 +83,7 @@ def _parse_line(parts: list[str], lineno: int) -> IORequest:
         raise ValueError(f"line {lineno}: expected 5 fields, got {len(parts)}")
     try:
         return IORequest(
-            arrival_us=float(parts[0]),
+            arrival_us=float(parts[0]),  # repro-lint: disable=R001 (trace column 0 is microseconds by format)
             workload_id=int(parts[1]),
             op=OpType.from_str(parts[2]),
             lpn=int(parts[3]),

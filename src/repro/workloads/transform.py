@@ -88,10 +88,10 @@ def slice_window(
     """
     if end_us <= start_us:
         raise ValueError("end_us must exceed start_us")
-    offset = start_us if rebase else 0.0
+    offset_us = start_us if rebase else 0.0
     return [
         IORequest(
-            arrival_us=r.arrival_us - offset,
+            arrival_us=r.arrival_us - offset_us,
             workload_id=r.workload_id,
             op=r.op,
             lpn=r.lpn,
@@ -106,12 +106,12 @@ def shift_time(requests: Sequence[IORequest], offset_us: float) -> list[IOReques
     """Add ``offset_us`` to every arrival (concatenating phases)."""
     out = []
     for r in requests:
-        arrival = r.arrival_us + offset_us
-        if arrival < 0:
+        arrival_us = r.arrival_us + offset_us
+        if arrival_us < 0:
             raise ValueError("shift would produce a negative arrival time")
         out.append(
             IORequest(
-                arrival_us=arrival,
+                arrival_us=arrival_us,
                 workload_id=r.workload_id,
                 op=r.op,
                 lpn=r.lpn,

@@ -1,0 +1,6 @@
+"""R001 golden fixture: one bare float reaching a ``*_us`` sink."""
+
+
+def service_time(transfer):
+    latency_us = transfer
+    return latency_us

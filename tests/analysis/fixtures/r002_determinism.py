@@ -1,0 +1,8 @@
+"""R002 golden fixture: a module-level RNG draw inside simulation code."""
+# repro-lint: module=repro.ssd.fixture
+
+import random
+
+
+def jitter():
+    return random.random()

@@ -1,0 +1,6 @@
+"""R003 golden fixture: an unguarded observability call in simulation code."""
+# repro-lint: module=repro.core.fixture
+
+
+def publish(obs, value):
+    obs.counter("requests", value)

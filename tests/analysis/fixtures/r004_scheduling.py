@@ -1,0 +1,5 @@
+"""R004 golden fixture: scheduling a bare duration, not an absolute time."""
+
+
+def submit(loop, transfer_us, callback):
+    loop.schedule(transfer_us, callback)

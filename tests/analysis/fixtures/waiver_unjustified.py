@@ -1,0 +1,6 @@
+"""Waiver fixture: a waiver with no ``(reason)`` must NOT silence the rule."""
+
+
+def parse_gap(text):
+    gap_us = float(text)  # repro-lint: disable=R001
+    return gap_us

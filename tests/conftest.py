@@ -2,9 +2,9 @@
 
 from __future__ import annotations
 
+from hypothesis import HealthCheck, settings
 import numpy as np
 import pytest
-from hypothesis import HealthCheck, settings
 
 from repro.ssd import SSDConfig
 

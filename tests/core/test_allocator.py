@@ -3,13 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.core import (
-    ChannelAllocator,
-    Dataset,
-    FeatureVector,
-    StrategyLearner,
-    StrategySpace,
-)
+from repro.core import ChannelAllocator, Dataset, FeatureVector, StrategyLearner, StrategySpace
 
 
 @pytest.fixture

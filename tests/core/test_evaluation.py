@@ -5,8 +5,8 @@ import pytest
 
 from repro.core import (
     Dataset,
-    LabeledSample,
     FeatureVector,
+    LabeledSample,
     LabelerConfig,
     QualityReport,
     StrategyLearner,

@@ -1,11 +1,11 @@
 """Feature vectors and the features collector."""
 
-import numpy as np
-import pytest
 from hypothesis import given
 from hypothesis import strategies as st
+import numpy as np
+import pytest
 
-from repro.core import FeatureVector, FeaturesCollector, N_INTENSITY_LEVELS, features_of_mix
+from repro.core import N_INTENSITY_LEVELS, FeaturesCollector, FeatureVector, features_of_mix
 from repro.ssd import IORequest, OpType
 from repro.workloads import WorkloadSpec, generate, mix
 

@@ -32,7 +32,7 @@ def fast_cfg():
 
 class TestObjective:
     def test_mean_sum_weights_classes_equally(self, fast_cfg, rng):
-        from repro.core.labeler import objective_of
+        from repro.core.labeler import objective_us
         from repro.ssd import LatencyAccumulator, OpType
         from repro.ssd.metrics import build_result
 
@@ -42,11 +42,11 @@ class TestObjective:
         acc.add(0, OpType.WRITE, 1000.0)
         result = build_result(acc, makespan_us=1.0, requests=10, subrequests=10)
         # mean-sum: 10 + 1000; total-sum: 9*10 + 1000
-        assert objective_of(result, "mean-sum") == 1010.0
-        assert objective_of(result, "total-sum") == 1090.0
+        assert objective_us(result, "mean-sum") == 1010.0
+        assert objective_us(result, "total-sum") == 1090.0
 
     def test_unknown_objective_rejected(self):
-        from repro.core.labeler import objective_of
+        from repro.core.labeler import objective_us
         from repro.ssd import LatencyAccumulator
         from repro.ssd.metrics import build_result
 
@@ -54,7 +54,7 @@ class TestObjective:
             LatencyAccumulator(), makespan_us=0.0, requests=0, subrequests=0
         )
         with pytest.raises(ValueError):
-            objective_of(result, "geometric")
+            objective_us(result, "geometric")
 
     def test_config_validates_objective(self):
         with pytest.raises(ValueError):

@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.core import Dataset, FeatureVector, StrategySpace, StrategyLearner
+from repro.core import Dataset, FeatureVector, StrategyLearner, StrategySpace
 
 
 @pytest.fixture

@@ -1,8 +1,8 @@
 """Channel-allocation strategy space: counts, labels, channel sets."""
 
-import pytest
 from hypothesis import given
 from hypothesis import strategies as st
+import pytest
 
 from repro.core import Strategy, StrategyKind, StrategySpace, compositions, enumerate_strategies
 

@@ -2,12 +2,11 @@
 
 import dataclasses
 
+import numpy as np
 import pytest
 
 from repro.harness import ArtifactCache, Scale, ablation_scheduling
 from repro.harness.ablations import _spearman
-
-import numpy as np
 
 
 @pytest.fixture

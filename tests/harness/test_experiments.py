@@ -5,9 +5,9 @@ import dataclasses
 import pytest
 
 from repro.harness import (
-    ArtifactCache,
     MIX_COMPOSITIONS,
     OPTIMIZER_VARIANTS,
+    ArtifactCache,
     Scale,
     build_dataset,
     build_mixes,

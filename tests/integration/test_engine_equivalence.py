@@ -7,19 +7,12 @@ contention we require agreement of total latency within a modest band and
 identical structural counts.
 """
 
-import numpy as np
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
+import numpy as np
+import pytest
 
-from repro.ssd import (
-    FastLatencyModel,
-    IORequest,
-    OpType,
-    SSDConfig,
-    SSDSimulator,
-    ServiceTimes,
-)
+from repro.ssd import FastLatencyModel, IORequest, OpType, ServiceTimes, SSDConfig, SSDSimulator
 
 CONFIG = SSDConfig.small()
 SETS = {0: list(range(8)), 1: list(range(8))}

@@ -5,8 +5,8 @@ them and exercise the quickstart end to end with a reduced workload by
 reusing its building blocks.
 """
 
-import py_compile
 from pathlib import Path
+import py_compile
 
 import pytest
 

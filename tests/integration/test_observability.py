@@ -137,7 +137,7 @@ class TestMetricsPublication:
         assert all(len(r) == config.channels for r in profiler.channel_busy)
         # some channel saw traffic in some window
         assert max(max(r) for r in profiler.channel_busy) > 0.0
-        assert profiler.times[-1] <= result.makespan_us + profiler.interval_us
+        assert profiler.times_us[-1] <= result.makespan_us + profiler.interval_us
 
 
 class TestExports:

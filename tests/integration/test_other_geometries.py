@@ -5,19 +5,11 @@ tests run the full pipeline pieces on other channel counts, tenant counts
 and hierarchies.
 """
 
+import numpy as np
 import pytest
 
-from repro.core import (
-    FeatureVector,
-    LabelerConfig,
-    StrategySpace,
-    enumerate_strategies,
-    label_sample,
-)
-from repro.ssd import IORequest, OpType, SSDConfig, simulate, fast_simulate
-from repro.workloads import WorkloadSpec, synthesize_mix
-
-import numpy as np
+from repro.core import LabelerConfig, StrategySpace, enumerate_strategies, label_sample
+from repro.ssd import IORequest, OpType, SSDConfig, fast_simulate, simulate
 
 
 class TestStrategySpaces:

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.ssd import SSDConfig, simulate
+from repro.ssd import simulate
 from repro.workloads import WorkloadSpec, generate, traces
 
 

@@ -1,10 +1,10 @@
 """Activations: values, output-based derivatives, softmax properties."""
 
-import numpy as np
-import pytest
 from hypothesis import given
 from hypothesis import strategies as st
 from hypothesis.extra.numpy import arrays
+import numpy as np
+import pytest
 
 from repro.nn import Identity, Logistic, ReLU, Tanh, get_activation, softmax
 

@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.nn import AdaGrad, Adam, RMSProp, SGD, SGDMomentum, get_optimizer
+from repro.nn import SGD, AdaGrad, Adam, RMSProp, SGDMomentum, get_optimizer
 
 
 def quadratic_descent(optimizer, start=5.0, steps=300):

@@ -1,10 +1,10 @@
 """Scaler, one-hot, split, minibatches."""
 
-import numpy as np
-import pytest
 from hypothesis import given
 from hypothesis import strategies as st
 from hypothesis.extra.numpy import arrays
+import numpy as np
+import pytest
 
 from repro.nn import StandardScaler, minibatches, one_hot, train_test_split
 

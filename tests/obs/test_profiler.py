@@ -30,7 +30,7 @@ class TestUtilizationProfiler:
     def test_samples_cover_the_run(self):
         loop, profiler = busy_run()
         assert profiler.samples >= 4
-        assert profiler.times == sorted(profiler.times)
+        assert profiler.times_us == sorted(profiler.times_us)
         # row shape: one column per channel / die
         assert all(len(r) == 1 for r in profiler.channel_busy)
         assert all(len(r) == 1 for r in profiler.die_busy)
@@ -39,8 +39,8 @@ class TestUtilizationProfiler:
         _, profiler = busy_run(interval_us=10.0, jobs=5, service=8.0)
         # busy time is booked at grant, so single windows may exceed 1.0,
         # but the series must integrate to the total service time (5 * 8us)
-        windows = [profiler.times[0]] + [
-            b - a for a, b in zip(profiler.times, profiler.times[1:])
+        windows = [profiler.times_us[0]] + [
+            b - a for a, b in zip(profiler.times_us, profiler.times_us[1:])
         ]
         integral = sum(
             f * w for (f,), w in zip(profiler.channel_busy, windows)
@@ -73,7 +73,7 @@ class TestUtilizationProfiler:
         _, profiler = busy_run()
         series = profiler.channel_series(0)
         assert len(series) == profiler.samples
-        assert series[0][0] == profiler.times[0]
+        assert series[0][0] == profiler.times_us[0]
 
     def test_publish_into_registry(self):
         _, profiler = busy_run()

@@ -4,14 +4,7 @@ import json
 
 import pytest
 
-from repro.obs import (
-    DEFAULT_LATENCY_BUCKETS_US,
-    Counter,
-    Gauge,
-    Histogram,
-    MetricsRegistry,
-    Series,
-)
+from repro.obs import DEFAULT_LATENCY_BUCKETS_US, Counter, Gauge, Histogram, MetricsRegistry, Series
 
 
 class TestCounter:

@@ -1,17 +1,10 @@
 """DRAM write-back buffer: unit behaviour and simulator integration."""
 
-import pytest
 from hypothesis import given
 from hypothesis import strategies as st
+import pytest
 
-from repro.ssd import (
-    BufferConfig,
-    IORequest,
-    OpType,
-    SSDSimulator,
-    ServiceTimes,
-    WriteBuffer,
-)
+from repro.ssd import BufferConfig, IORequest, OpType, ServiceTimes, SSDSimulator, WriteBuffer
 
 
 def cfg(capacity=4, dram=2.0, read_allocate=True):

@@ -6,12 +6,12 @@ accumulates must equal the per-op service times summed over the trace —
 queueing moves work in time, never creates or destroys it.
 """
 
-import numpy as np
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
+import numpy as np
+import pytest
 
-from repro.ssd import IORequest, OpType, SSDConfig, SSDSimulator, ServiceTimes
+from repro.ssd import IORequest, OpType, ServiceTimes, SSDConfig, SSDSimulator
 
 
 def random_trace(seed, n):
@@ -47,8 +47,8 @@ class TestWorkConservation:
 
         expected_die = read_pages * t.read_die_us + write_pages * t.write_die_us
         expected_bus = read_pages * t.read_bus_us + write_pages * t.write_bus_us
-        actual_die = sum(d.busy_time for d in sim.dies)
-        actual_bus = sum(c.busy_time for c in sim.channels)
+        actual_die = sum(d.busy_time_us for d in sim.dies)
+        actual_bus = sum(c.busy_time_us for c in sim.channels)
         assert actual_die == pytest.approx(expected_die, rel=1e-9)
         assert actual_bus == pytest.approx(expected_bus, rel=1e-9)
 
@@ -79,5 +79,5 @@ class TestWorkConservation:
         sim = SSDSimulator(config, {0: list(range(8)), 1: list(range(8))})
         sim.run(random_trace(11, 300))
         elapsed = sim.loop.now
-        assert sum(c.busy_time for c in sim.channels) <= elapsed * config.channels + 1e-6
-        assert sum(d.busy_time for d in sim.dies) <= elapsed * config.dies + 1e-6
+        assert sum(c.busy_time_us for c in sim.channels) <= elapsed * config.channels + 1e-6
+        assert sum(d.busy_time_us for d in sim.dies) <= elapsed * config.dies + 1e-6

@@ -101,7 +101,7 @@ class TestResource:
         loop.schedule(0.0, submit)
         loop.run()
         assert starts == {"a": 0.0, "b": 10.0}
-        assert res.busy_time == 15.0
+        assert res.busy_time_us == 15.0
 
     def test_priority_order_among_waiters(self):
         loop = EventLoop()
@@ -139,7 +139,7 @@ class TestResource:
         loop.schedule(0.0, lambda: res.acquire((0, 0), 10.0, lambda s: None))
         loop.schedule(0.0, lambda: res.acquire((0, 1), 1.0, lambda s: None))
         loop.run()
-        assert res.wait_time == pytest.approx(10.0)
+        assert res.wait_time_us == pytest.approx(10.0)
         assert res.grants == 2
 
     def test_rejects_negative_duration(self):

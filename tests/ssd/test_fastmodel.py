@@ -2,14 +2,7 @@
 
 import pytest
 
-from repro.ssd import (
-    FastLatencyModel,
-    IORequest,
-    OpType,
-    ServiceTimes,
-    fast_simulate,
-    simulate,
-)
+from repro.ssd import IORequest, OpType, ServiceTimes, fast_simulate, simulate
 
 
 def shared_sets(n=1, channels=8):

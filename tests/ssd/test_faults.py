@@ -3,12 +3,7 @@
 import pytest
 
 from repro.ssd import SSDConfig
-from repro.ssd.faults import (
-    FaultConfig,
-    FaultExpectation,
-    FaultInjector,
-    FaultWorkItem,
-)
+from repro.ssd.faults import FaultConfig, FaultExpectation, FaultInjector, FaultWorkItem
 from repro.ssd.ftl.gc import GarbageCollector, GCWorkItem
 from repro.ssd.ftl.mapping import FlashArrayState
 from repro.ssd.timing import ServiceTimes
@@ -249,12 +244,12 @@ class TestWorkItemTiming:
         assert gc_item.die_us(t) == pytest.approx(3 * t.move_die_us + t.erase_us)
         assert fw_item.die_us(t) == pytest.approx(3 * t.move_die_us + t.write_die_us)
 
-    def test_read_die_with_retries(self, small_config):
+    def test_read_die_with_retries_us(self, small_config):
         t = ServiceTimes.from_config(small_config)
-        assert t.read_die_with_retries(0) == t.read_die_us
-        assert t.read_die_with_retries(2) == pytest.approx(3 * t.read_die_us)
+        assert t.read_die_with_retries_us(0) == t.read_die_us
+        assert t.read_die_with_retries_us(2) == pytest.approx(3 * t.read_die_us)
         with pytest.raises(ValueError):
-            t.read_die_with_retries(-1)
+            t.read_die_with_retries_us(-1)
 
 
 class TestFaultExpectation:

@@ -1,6 +1,5 @@
 """_GapTimeline: the fast model's work-conserving resource approximation."""
 
-import pytest
 from hypothesis import given
 from hypothesis import strategies as st
 

@@ -1,7 +1,5 @@
 """Greedy garbage collection."""
 
-import pytest
-
 from repro.ssd import SSDConfig
 from repro.ssd.ftl.gc import GarbageCollector
 from repro.ssd.ftl.mapping import FlashArrayState

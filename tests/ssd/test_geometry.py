@@ -1,8 +1,8 @@
 """Geometry: PPN packing bijection and enumeration helpers."""
 
-import pytest
 from hypothesis import given
 from hypothesis import strategies as st
+import pytest
 
 from repro.ssd import Geometry, PhysicalAddress, SSDConfig
 

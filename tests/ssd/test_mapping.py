@@ -1,8 +1,8 @@
 """FTL mapping and plane-state invariants."""
 
-import pytest
 from hypothesis import given
 from hypothesis import strategies as st
+import pytest
 
 from repro.ssd import Geometry, SSDConfig
 from repro.ssd.ftl.mapping import FlashArrayState, MappingTable, PlaneState

@@ -1,16 +1,11 @@
 """Static and dynamic page placers."""
 
-import pytest
 from hypothesis import given
 from hypothesis import strategies as st
+import pytest
 
 from repro.ssd import Geometry, SSDConfig
-from repro.ssd.ftl.page_alloc import (
-    DynamicPagePlacer,
-    PageAllocMode,
-    StaticPagePlacer,
-    make_placer,
-)
+from repro.ssd.ftl.page_alloc import DynamicPagePlacer, PageAllocMode, StaticPagePlacer, make_placer
 
 
 @pytest.fixture

@@ -5,8 +5,6 @@ so tie-broken writes serialised on one channel's bus.  These tests pin the
 interleaved behaviour in both engines.
 """
 
-import numpy as np
-
 from repro.ssd import (
     FastLatencyModel,
     Geometry,

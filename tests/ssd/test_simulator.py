@@ -2,14 +2,7 @@
 
 import pytest
 
-from repro.ssd import (
-    IORequest,
-    OpType,
-    SSDConfig,
-    SSDSimulator,
-    ServiceTimes,
-    simulate,
-)
+from repro.ssd import IORequest, OpType, ServiceTimes, SSDSimulator, simulate
 
 
 def shared_sets(n_tenants=1, channels=8):

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.ssd import SSDConfig, ServiceTimes
+from repro.ssd import ServiceTimes, SSDConfig
 
 
 class TestServiceTimes:

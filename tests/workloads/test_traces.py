@@ -1,8 +1,8 @@
 """Trace file round trips and error handling."""
 
-import pytest
 from hypothesis import given
 from hypothesis import strategies as st
+import pytest
 
 from repro.ssd import IORequest, OpType
 from repro.workloads import traces

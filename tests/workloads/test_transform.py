@@ -1,8 +1,8 @@
 """Trace transformations."""
 
-import pytest
 from hypothesis import given
 from hypothesis import strategies as st
+import pytest
 
 from repro.ssd import IORequest, OpType
 from repro.workloads import (
