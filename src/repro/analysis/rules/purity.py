@@ -31,7 +31,10 @@ from . import Rule
 __all__ = ["OptInPurityRule"]
 
 #: attribute roots that must be None-guarded
-_GUARDED_ROOTS = frozenset({"obs", "faults", "sanitizer", "_sanitizer", "_obs", "_faults"})
+_GUARDED_ROOTS = frozenset({
+    "obs", "faults", "sanitizer", "attribution",
+    "_obs", "_faults", "_sanitizer", "_attribution",
+})
 
 
 def _root_key(node: ast.expr) -> str | None:

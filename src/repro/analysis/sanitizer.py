@@ -47,7 +47,8 @@ class SanitizerError(RuntimeError):
 
     ``invariant`` is the stable machine-readable name
     (``event-time-monotonicity``, ``resource-mutual-exclusion``,
-    ``mapping-bijectivity``, ``capacity-conservation``).
+    ``mapping-bijectivity``, ``capacity-conservation``,
+    ``attribution-exact-sum``).
     """
 
     def __init__(self, invariant: str, detail: str, trace: list[str]) -> None:
@@ -71,6 +72,7 @@ class Sanitizer:
         "grants_checked",
         "mapping_ops",
         "conservation_checks",
+        "attribution_checks",
     )
 
     def __init__(self, *, history: int = 32) -> None:
@@ -83,6 +85,7 @@ class Sanitizer:
         self.grants_checked = 0
         self.mapping_ops = 0
         self.conservation_checks = 0
+        self.attribution_checks = 0
 
     # ------------------------------------------------------------------
     def _record(self, entry: str) -> None:
@@ -92,13 +95,22 @@ class Sanitizer:
         raise SanitizerError(invariant, detail, list(self._ring))
 
     def stats(self) -> dict[str, int]:
-        """Counters proving the sanitizer actually ran its checks."""
-        return {
+        """Counters proving the sanitizer actually ran its checks.
+
+        ``attribution_checks`` appears only when latency attribution was
+        enabled for the run — an unattributed run legitimately performs
+        zero of them, and consumers assert every reported counter is
+        positive.
+        """
+        out = {
             "events_checked": self.events_checked,
             "grants_checked": self.grants_checked,
             "mapping_ops": self.mapping_ops,
             "conservation_checks": self.conservation_checks,
         }
+        if self.attribution_checks:
+            out["attribution_checks"] = self.attribution_checks
+        return out
 
     # ------------------------------------------------------------------
     # Event loop
@@ -142,6 +154,29 @@ class Sanitizer:
             f"grant {resource.kind}/{resource.name} "
             f"[{start_us:.3f}, {start_us + duration_us:.3f}]"
         )
+
+    # ------------------------------------------------------------------
+    # Latency attribution
+    # ------------------------------------------------------------------
+    def on_attribution(
+        self,
+        workload_id: int,
+        op: str,
+        phase_sum_us: float,
+        latency_us: float,
+        tolerance_us: float,
+    ) -> None:
+        """Called per recorded request: phases must reproduce the latency."""
+        self.attribution_checks += 1
+        gap_us = phase_sum_us - latency_us
+        if gap_us > tolerance_us or gap_us < -tolerance_us:
+            self._fail(
+                "attribution-exact-sum",
+                f"w{workload_id} {op}: attributed phases sum to "
+                f"{phase_sum_us!r}us but the recorded latency is "
+                f"{latency_us!r}us (gap {gap_us:g}, tolerance {tolerance_us:g})",
+            )
+        self._record(f"attribution w{workload_id} {op} {latency_us:.3f}us")
 
     # ------------------------------------------------------------------
     # Mapping table

@@ -1,0 +1,509 @@
+"""``repro bench`` — fixed benchmark suite with perf-regression tracking.
+
+The ROADMAP's north star is "as fast as the hardware allows", but until
+now the repo had no perf trajectory at all: a PR could halve the
+simulator's throughput and nothing would notice.  This module runs a
+**fixed suite of seeded scenarios** — tenant mixes on the event-driven
+simulator, a GC-heavy device, a fault-injected run, and the vectorised
+fast model — and records, per scenario:
+
+* **wall-clock metrics** (``wall_s``, ``requests_per_s``) — noisy,
+  machine-dependent, compared with a generous threshold;
+* **simulated-latency metrics** (``sim_mean_read_us`` etc.) — fully
+  deterministic for a given seed, so *any* drift beyond float noise
+  means the model's behaviour changed;
+* the **attribution breakdown** (phase totals/fractions) where the
+  scenario runs the event-driven simulator, so "it got slower" comes
+  with "and the time went into die waits".
+
+Results land in a schema-versioned ``BENCH_<timestamp>.json``;
+``--baseline <file> --max-regression <pct>`` compares against a
+committed baseline and exits nonzero when any metric regresses past the
+threshold, which is the CI tripwire.  ``--quick`` shrinks the traces
+for smoke runs (quick and full results are never comparable — request
+counts differ — so the comparison refuses mismatched files).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import sys
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Callable
+
+__all__ = [
+    "SCHEMA_VERSION",
+    "SCENARIOS",
+    "BenchRegression",
+    "run_bench",
+    "run_scenario",
+    "compare",
+    "write_bench",
+    "main",
+]
+
+#: Bump when the document layout changes shape (not when scenarios or
+#: metrics are merely added); comparison refuses mismatched versions.
+SCHEMA_VERSION = 1
+
+#: Comparable metrics by direction: LOWER_BETTER regresses when it
+#: grows, HIGHER_BETTER when it shrinks.  Unknown metrics are ignored by
+#: comparison (forward compatibility: new metrics don't fail against old
+#: baselines).
+LOWER_BETTER = frozenset(
+    {"wall_s", "sim_mean_read_us", "sim_mean_write_us", "sim_total_latency_us"}
+)
+HIGHER_BETTER = frozenset({"requests_per_s"})
+
+#: request counts per scenario (full / --quick)
+_FULL_REQUESTS = 3000
+_QUICK_REQUESTS = 600
+
+#: Wall-clock metrics are skipped when both runs finished faster than
+#: this: below ~20ms a scenario is dominated by interpreter warm-up and
+#: percent thresholds are meaningless.
+_WALL_NOISE_FLOOR_S = 0.02
+
+
+def _mix(specs, total_requests: int, seed: int):
+    from ..workloads.mixer import synthesize_mix
+
+    return synthesize_mix(specs, total_requests=total_requests, seed=seed).requests
+
+
+def _spec(name: str, write_ratio: float, rate_rps: float, footprint_pages: int):
+    from ..workloads.spec import WorkloadSpec
+
+    return WorkloadSpec(
+        name=name,
+        write_ratio=write_ratio,
+        rate_rps=rate_rps,
+        mean_request_pages=2.0,
+        sequential_fraction=0.3,
+        skew=0.5,
+        footprint_pages=footprint_pages,
+    )
+
+
+# ----------------------------------------------------------------------
+# Scenario definitions.  Each builder returns (kind, requests, run_fn)
+# where run_fn() executes one full run and returns a SimulationResult.
+# Everything is seeded: two invocations produce identical simulated
+# metrics, so only the wall-clock numbers carry noise.
+# ----------------------------------------------------------------------
+def _scenario_mix2(total: int):
+    from ..ssd.config import SSDConfig
+
+    cfg = SSDConfig.small()
+    requests = _mix(
+        [
+            _spec("writer", 0.9, 8000.0, 4096),
+            _spec("reader", 0.1, 6000.0, 4096),
+        ],
+        total,
+        seed=101,
+    )
+    sets = {0: list(range(cfg.channels)), 1: list(range(cfg.channels))}
+    return "simulator", requests, cfg, sets, None
+
+
+def _scenario_mix4(total: int):
+    from ..ssd.config import SSDConfig
+
+    cfg = SSDConfig.small()
+    requests = _mix(
+        [
+            _spec("writer-a", 0.9, 4000.0, 2048),
+            _spec("writer-b", 0.8, 4000.0, 2048),
+            _spec("reader-a", 0.1, 3000.0, 2048),
+            _spec("reader-b", 0.05, 3000.0, 2048),
+        ],
+        total,
+        seed=202,
+    )
+    half = cfg.channels // 2
+    sets = {
+        0: list(range(half)),
+        1: list(range(half)),
+        2: list(range(half, cfg.channels)),
+        3: list(range(half, cfg.channels)),
+    }
+    return "simulator", requests, cfg, sets, None
+
+
+def _scenario_gc_heavy(total: int):
+    from ..ssd.config import SSDConfig
+
+    # Tiny blocks, one channel per writer, footprints near capacity: the
+    # trace overwrites each channel several times, keeping GC busy.
+    cfg = SSDConfig(blocks_per_plane=4, pages_per_block=16)
+    requests = _mix(
+        [
+            _spec("writer-a", 0.95, 4000.0, 190),
+            _spec("writer-b", 0.85, 3000.0, 190),
+        ],
+        total,
+        seed=303,
+    )
+    sets = {0: [0], 1: [1]}
+    return "simulator", requests, cfg, sets, None
+
+
+def _scenario_faulted(total: int):
+    from ..ssd.config import SSDConfig
+    from ..ssd.faults import FaultConfig
+
+    cfg = SSDConfig(blocks_per_plane=24, pages_per_block=16)
+    requests = _mix(
+        [
+            _spec("writer", 0.9, 6000.0, 4000),
+            _spec("reader", 0.1, 5000.0, 4000),
+        ],
+        total,
+        seed=404,
+    )
+    sets = {0: [0, 1, 2, 3], 1: [4, 5, 6, 7]}
+    faults = FaultConfig(
+        seed=17, read_ber=0.05, program_fail_rate=0.002, erase_fail_rate=0.01
+    )
+    return "simulator", requests, cfg, sets, faults
+
+
+def _scenario_fastmodel(total: int):
+    from ..ssd.config import SSDConfig
+
+    cfg = SSDConfig.small()
+    requests = _mix(
+        [
+            _spec("writer-a", 0.9, 4000.0, 2048),
+            _spec("writer-b", 0.8, 4000.0, 2048),
+            _spec("reader-a", 0.1, 3000.0, 2048),
+            _spec("reader-b", 0.05, 3000.0, 2048),
+        ],
+        total,
+        seed=202,
+    )
+    half = cfg.channels // 2
+    sets = {
+        0: list(range(half)),
+        1: list(range(half)),
+        2: list(range(half, cfg.channels)),
+        3: list(range(half, cfg.channels)),
+    }
+    return "fastmodel", requests, cfg, sets, None
+
+
+#: scenario name -> builder(total_requests); insertion order is report order
+SCENARIOS: dict[str, Callable] = {
+    "mix2_shared": _scenario_mix2,
+    "mix4_split": _scenario_mix4,
+    "gc_heavy": _scenario_gc_heavy,
+    "faulted": _scenario_faulted,
+    "fastmodel": _scenario_fastmodel,
+}
+
+
+# ----------------------------------------------------------------------
+# Running
+# ----------------------------------------------------------------------
+def run_scenario(
+    name: str, *, quick: bool = False, repeat: int = 1, attribution: bool = True
+) -> dict:
+    """Run one scenario ``repeat`` times; best wall-clock is recorded.
+
+    Simulated metrics are deterministic, so repeats only damp host noise
+    in ``wall_s`` / ``requests_per_s``.
+    """
+    builder = SCENARIOS[name]
+    total = _QUICK_REQUESTS if quick else _FULL_REQUESTS
+    kind, requests, cfg, sets, faults = builder(total)
+    best_wall_s = None
+    result = None
+    breakdown = None
+    for _ in range(max(1, repeat)):
+        t0_s = time.perf_counter()
+        if kind == "fastmodel":
+            from ..ssd.fastmodel import fast_simulate
+
+            result = fast_simulate(requests, cfg, sets)
+        else:
+            from ..obs import Observability
+            from ..ssd.simulator import simulate
+
+            obs = Observability(trace=False, attribution=attribution)
+            result = simulate(
+                requests, cfg, sets, record_latencies=True, obs=obs, faults=faults
+            )
+            breakdown = result.breakdown
+        wall_s = time.perf_counter() - t0_s
+        if best_wall_s is None or wall_s < best_wall_s:
+            best_wall_s = wall_s
+    metrics = {
+        "wall_s": best_wall_s,
+        "requests_per_s": len(requests) / best_wall_s if best_wall_s else 0.0,
+        "sim_mean_read_us": result.mean_read_us,
+        "sim_mean_write_us": result.mean_write_us,
+        "sim_total_latency_us": result.total_latency_us,
+    }
+    out = {"kind": kind, "requests": len(requests), "metrics": metrics}
+    if breakdown is not None:
+        out["attribution"] = {
+            "requests": breakdown.requests,
+            "phase_totals_us": {**breakdown.phase_totals_us},
+            "phase_fractions": breakdown.phase_fractions(),
+        }
+    return out
+
+
+def run_bench(
+    *,
+    quick: bool = False,
+    repeat: int = 1,
+    attribution: bool = True,
+    scenarios: list[str] | None = None,
+    log=None,
+) -> dict:
+    """Run the suite; returns the schema-versioned result document."""
+    names = list(SCENARIOS) if scenarios is None else scenarios
+    for name in names:
+        if name not in SCENARIOS:
+            raise KeyError(
+                f"unknown scenario {name!r}; available: {', '.join(SCENARIOS)}"
+            )
+    doc: dict = {
+        "schema_version": SCHEMA_VERSION,
+        "created": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+        "quick": quick,
+        "repeat": max(1, repeat),
+        "python": platform.python_version(),
+        "platform": platform.platform(),
+        "scenarios": {},
+    }
+    for name in names:
+        entry = run_scenario(
+            name, quick=quick, repeat=repeat, attribution=attribution
+        )
+        doc["scenarios"][name] = entry
+        if log is not None:
+            m = entry["metrics"]
+            log(
+                f"{name:<12} {entry['requests']:>6} reqs  "
+                f"{m['wall_s']:.3f}s wall  {m['requests_per_s']:>9.0f} req/s  "
+                f"mean read {m['sim_mean_read_us']:.1f}us "
+                f"write {m['sim_mean_write_us']:.1f}us"
+            )
+    return doc
+
+
+def write_bench(doc: dict, out_dir) -> Path:
+    """Write ``doc`` as ``BENCH_<timestamp>.json`` under ``out_dir``."""
+    out_dir = Path(out_dir)
+    out_dir.mkdir(parents=True, exist_ok=True)
+    stamp = doc["created"].replace(":", "").replace("-", "")
+    path = out_dir / f"BENCH_{stamp}.json"
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(doc, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    return path
+
+
+# ----------------------------------------------------------------------
+# Baseline comparison
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class BenchRegression:
+    """One metric that moved past the allowed threshold."""
+
+    scenario: str
+    metric: str
+    baseline: float
+    current: float
+    change_pct: float
+
+    def describe(self) -> str:
+        return (
+            f"{self.scenario}.{self.metric}: {self.baseline:.6g} -> "
+            f"{self.current:.6g} ({self.change_pct:+.1f}%)"
+        )
+
+
+def compare(
+    current: dict, baseline: dict, *, max_regression_pct: float
+) -> list[BenchRegression]:
+    """Regressions of ``current`` against ``baseline``.
+
+    Only metrics present in both documents and named in
+    :data:`METRIC_DIRECTIONS` are compared; scenarios missing on either
+    side are skipped (suites may grow).  Raises :class:`ValueError` when
+    the documents are structurally incomparable (schema version or
+    quick/full mismatch).
+    """
+    if max_regression_pct < 0:
+        raise ValueError("max_regression_pct must be non-negative")
+    for doc, side in ((current, "current"), (baseline, "baseline")):
+        if doc.get("schema_version") != SCHEMA_VERSION:
+            raise ValueError(
+                f"{side} document has schema_version "
+                f"{doc.get('schema_version')!r}; this tool expects "
+                f"{SCHEMA_VERSION}"
+            )
+    if bool(current.get("quick")) != bool(baseline.get("quick")):
+        raise ValueError(
+            "cannot compare a --quick run against a full-size baseline "
+            "(request counts differ); regenerate the baseline at the "
+            "same size"
+        )
+    regressions: list[BenchRegression] = []
+    for name, entry in current.get("scenarios", {}).items():
+        base_entry = baseline.get("scenarios", {}).get(name)
+        if base_entry is None:
+            continue
+        base_metrics = base_entry.get("metrics", {})
+        wall_s = entry.get("metrics", {}).get("wall_s") or 0.0
+        base_wall_s = base_metrics.get("wall_s") or 0.0
+        below_floor = max(wall_s, base_wall_s) < _WALL_NOISE_FLOOR_S
+        for metric, value in entry.get("metrics", {}).items():
+            lower_better = metric in LOWER_BETTER
+            base = base_metrics.get(metric)
+            if not lower_better and metric not in HIGHER_BETTER:
+                continue
+            if base is None or base == 0:
+                continue
+            if below_floor and metric in ("wall_s", "requests_per_s"):
+                continue
+            if lower_better:
+                change_pct = (value - base) / base * 100.0
+            else:
+                change_pct = (base - value) / base * 100.0
+            if change_pct > max_regression_pct:
+                regressions.append(
+                    BenchRegression(name, metric, base, value, change_pct)
+                )
+    return regressions
+
+
+# ----------------------------------------------------------------------
+# CLI
+# ----------------------------------------------------------------------
+def main(argv: list[str] | None = None) -> int:
+    """``repro bench`` entry point; returns a process exit code.
+
+    Exit codes: 0 = suite ran (and passed any baseline check); 1 = a
+    metric regressed past ``--max-regression``; 2 = usage error or
+    incomparable baseline.
+    """
+    parser = argparse.ArgumentParser(
+        prog="repro bench",
+        description="Run the fixed benchmark suite and track perf regressions.",
+    )
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help=f"small traces ({_QUICK_REQUESTS} requests/scenario instead of "
+        f"{_FULL_REQUESTS}); CI smoke size",
+    )
+    parser.add_argument(
+        "--repeat",
+        type=int,
+        default=1,
+        metavar="N",
+        help="run each scenario N times and keep the best wall-clock "
+        "(damps host noise; simulated metrics are deterministic)",
+    )
+    parser.add_argument(
+        "--scenario",
+        action="append",
+        metavar="NAME",
+        default=None,
+        help=f"run only this scenario (repeatable); available: "
+        f"{', '.join(SCENARIOS)}",
+    )
+    parser.add_argument(
+        "--out",
+        metavar="DIR",
+        default=".",
+        help="directory for BENCH_<timestamp>.json (default: current dir)",
+    )
+    parser.add_argument(
+        "--no-write",
+        action="store_true",
+        help="skip writing the BENCH_*.json file",
+    )
+    parser.add_argument(
+        "--baseline",
+        metavar="FILE",
+        default=None,
+        help="compare against this BENCH_*.json; exit 1 on regression",
+    )
+    parser.add_argument(
+        "--max-regression",
+        type=float,
+        default=30.0,
+        metavar="PCT",
+        help="allowed regression per metric in percent (default 30)",
+    )
+    parser.add_argument(
+        "--json",
+        action="store_true",
+        help="print the full result document to stdout as JSON",
+    )
+    args = parser.parse_args(argv)
+    if args.repeat < 1:
+        parser.error("--repeat must be >= 1")
+
+    baseline = None
+    if args.baseline is not None:
+        try:
+            with open(args.baseline, encoding="utf-8") as fh:
+                baseline = json.load(fh)
+        except (OSError, json.JSONDecodeError) as exc:
+            print(f"repro bench: cannot read baseline: {exc}", file=sys.stderr)
+            return 2
+
+    try:
+        doc = run_bench(
+            quick=args.quick,
+            repeat=args.repeat,
+            scenarios=args.scenario,
+            log=None if args.json else print,
+        )
+    except KeyError as exc:
+        print(f"repro bench: {exc.args[0]}", file=sys.stderr)
+        return 2
+
+    if args.json:
+        print(json.dumps(doc, indent=2, sort_keys=True))
+    if not args.no_write:
+        path = write_bench(doc, args.out)
+        print(f"wrote {path}")
+
+    if baseline is not None:
+        try:
+            regressions = compare(
+                doc, baseline, max_regression_pct=args.max_regression
+            )
+        except ValueError as exc:
+            print(f"repro bench: {exc}", file=sys.stderr)
+            return 2
+        if regressions:
+            print(
+                f"REGRESSION: {len(regressions)} metric(s) moved more than "
+                f"{args.max_regression:g}% past {args.baseline}:",
+                file=sys.stderr,
+            )
+            for reg in regressions:
+                print(f"  {reg.describe()}", file=sys.stderr)
+            return 1
+        print(
+            f"baseline check passed (threshold {args.max_regression:g}%, "
+            f"vs {args.baseline})"
+        )
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via the repro CLI
+    sys.exit(main())

@@ -12,6 +12,7 @@ Usage::
     python -m repro stats --sanitize
     python -m repro faults --read-ber 0.02 --program-fail-rate 0.001
     python -m repro lint src/repro/ssd --select R001,R004 --json
+    python -m repro bench --quick --baseline benchmarks/baseline.json
 
 Each experiment prints its regenerated table; expensive artifacts are
 cached under ``.repro-cache`` exactly as in the benches.  ``stats`` runs
@@ -25,7 +26,9 @@ the report includes the ``faults.*`` counters.  ``--sanitize`` attaches
 the runtime :class:`~repro.analysis.Sanitizer` to the ``stats`` /
 ``faults`` run (invariant checks on every event, grant, mapping op and GC
 pass).  ``lint`` runs the repro domain lints (R001-R004) and forwards its
-arguments to ``python -m repro.analysis``.
+arguments to ``python -m repro.analysis``.  ``bench`` runs the fixed
+benchmark suite (:mod:`repro.harness.bench`) and, with ``--baseline``,
+exits nonzero when a metric regresses past ``--max-regression``.
 """
 
 from __future__ import annotations
@@ -240,6 +243,7 @@ def _cmd_stats(scale: Scale, args: argparse.Namespace, faults=None) -> str:
     interval_us = args.utilization_interval  # repro-lint: disable=R001 (--utilization-interval is documented as microseconds)
     obs = Observability(
         utilization_interval_us=interval_us if interval_us > 0 else None,
+        attribution=True,
     )
     sanitizer = None
     if args.sanitize:
@@ -265,6 +269,8 @@ def _cmd_stats(scale: Scale, args: argparse.Namespace, faults=None) -> str:
         body = json.dumps(obs.export(), indent=2)
     else:
         body = result.summary() + "\n\n" + format_metrics(obs.registry.snapshot())
+        if result.breakdown is not None:
+            body += "\n\n" + result.breakdown.format()
     return "\n".join([*notes, "", body]) if notes else body
 
 
@@ -309,6 +315,11 @@ def main(argv: list[str] | None = None) -> int:
         from ..analysis.__main__ import main as lint_main
 
         return lint_main(argv[1:])
+    if argv and argv[0] == "bench":
+        # same pattern: the bench suite owns its own argument surface
+        from .bench import main as bench_main
+
+        return bench_main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Regenerate SSDKeeper paper tables and figures.",
@@ -319,7 +330,8 @@ def main(argv: list[str] | None = None) -> int:
         help="which table/figure to regenerate ('all' runs everything; "
         "'stats' runs one instrumented simulation and reports its metrics; "
         "'faults' is the same run under the seeded NAND fault model; "
-        "'repro lint [paths]' runs the domain lints R001-R004)",
+        "'repro lint [paths]' runs the domain lints R001-R004; "
+        "'repro bench' runs the benchmark suite with regression tracking)",
     )
     parser.add_argument(
         "--scale",

@@ -11,7 +11,11 @@ Three pillars, bundled by the :class:`Observability` facade:
   and ``chrome://tracing`` exporters;
 * **utilization profiling** (:mod:`repro.obs.profiler`) — per-channel /
   per-die busy-fraction and queue-depth time series on a configurable
-  simulated-time interval.
+  simulated-time interval;
+* **latency attribution** (:mod:`repro.obs.attribution`) — exact-sum
+  decomposition of every completed request's latency into named phases
+  (queue waits, bus transfer, die busy, GC stall, ECC retries, buffer
+  hits) with per-tenant/per-channel aggregation and Perfetto spans.
 
 Everything is opt-in: components take ``obs=None`` and pay at most one
 ``is not None`` branch per hot-path event when disabled.  Enable with::
@@ -27,6 +31,15 @@ Everything is opt-in: components take ``obs=None`` and pay at most one
 
 from __future__ import annotations
 
+from .attribution import (
+    DRAM_CHANNEL,
+    PHASE_NAMES,
+    AttributionCollector,
+    AttributionError,
+    LatencyBreakdown,
+    RequestAttribution,
+    SubrequestSpan,
+)
 from .chrometrace import to_chrome_trace, write_chrome_trace
 from .profiler import UtilizationProfiler
 from .registry import DEFAULT_LATENCY_BUCKETS_US, Counter, Gauge, Histogram, MetricsRegistry, Series
@@ -34,6 +47,13 @@ from .trace import EVENT_NAMES, NULL_RECORDER, NullRecorder, TraceEvent, TraceRe
 
 __all__ = [
     "Observability",
+    "AttributionCollector",
+    "AttributionError",
+    "LatencyBreakdown",
+    "RequestAttribution",
+    "SubrequestSpan",
+    "PHASE_NAMES",
+    "DRAM_CHANNEL",
     "MetricsRegistry",
     "Counter",
     "Gauge",
@@ -69,6 +89,13 @@ class Observability:
         When set, the simulator attaches a :class:`UtilizationProfiler`
         sampling every that many simulated microseconds (found afterwards
         on :attr:`profiler`).
+    attribution:
+        ``True`` attaches an :class:`AttributionCollector` (found on
+        :attr:`attribution`): every completed request's latency is
+        decomposed into named phases — queue waits, bus transfer, die
+        busy, GC stall, ECC retries, buffer hits — with exact-sum
+        validation; or pass a pre-configured collector.  ``False`` (the
+        default) costs nothing.
     """
 
     def __init__(
@@ -79,6 +106,7 @@ class Observability:
         trace_capacity: int = 65_536,
         trace_sample_every: int = 1,
         utilization_interval_us: float | None = None,
+        attribution: "bool | AttributionCollector" = False,
     ) -> None:
         self.registry = registry if registry is not None else MetricsRegistry()
         if isinstance(trace, (TraceRecorder, NullRecorder)):
@@ -96,6 +124,13 @@ class Observability:
         self.profiler: UtilizationProfiler | None = None
         #: keeper decision records (:class:`repro.core.keeper.KeeperDecision`)
         self.decisions: list = []
+        #: optional per-request latency attribution sink
+        if isinstance(attribution, AttributionCollector):
+            self.attribution: AttributionCollector | None = attribution
+        elif attribution:
+            self.attribution = AttributionCollector(trace=self.trace)
+        else:
+            self.attribution = None
 
     # ------------------------------------------------------------------
     def write_chrome_trace(self, path) -> int:
@@ -103,10 +138,34 @@ class Observability:
         return write_chrome_trace(self.trace.events(), path)
 
     def export(self) -> dict:
-        """Registry snapshot plus the utilization profile (if any)."""
+        """Registry snapshot plus utilization, attribution, fault and
+        keeper summaries (each section present only when populated)."""
         out = self.registry.snapshot()
         if self.profiler is not None:
             out["utilization"] = self.profiler.to_dict()
         if self.decisions:
             out["keeper_decisions"] = [d.to_dict() for d in self.decisions]
+        if self.attribution is not None:
+            out["attribution"] = self.attribution.breakdown().to_dict()
+        faults = {
+            name: value
+            for section in ("counters", "gauges")
+            for name, value in out.get(section, {}).items()
+            if name.startswith("faults.")
+        }
+        if faults:
+            out["faults"] = faults
+        fallbacks = self.registry.get("keeper.fallbacks")
+        if fallbacks is not None or self.decisions:
+            out["keeper"] = {
+                "fallbacks": fallbacks.value if fallbacks is not None else 0,
+                "prediction_health": [
+                    {
+                        "time_us": d.time_us,
+                        "healthy": d.fallback_reason is None,
+                        "reason": d.fallback_reason,
+                    }
+                    for d in self.decisions
+                ],
+            }
         return out

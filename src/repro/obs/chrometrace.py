@@ -6,11 +6,14 @@ JSON the ``chrome://tracing`` viewer and Perfetto load: a top-level
 Format (``ph`` = ``"X"`` complete events for spans with a known
 duration, ``"i"`` instant events otherwise).
 
-Tracks map onto the viewer's process/thread rows: everything shares one
-``pid`` (the simulated device) and each track (``ch0``, ``die3``,
-``host``, ``keeper``…) gets its own ``tid`` plus a ``thread_name``
-metadata record so rows are labelled.  Timestamps are already in
-microseconds — exactly the unit the format expects.
+Tracks map onto the viewer's process/thread rows with readable names:
+host activity (the ``host`` track and per-tenant ``w<N>`` tracks) lives
+in a **host** process, channel buses in a **channels** process, dies in
+a **dies** process, and everything else (GC, keeper, sim internals) in
+a **sim** process.  ``process_name`` / ``process_sort_index`` /
+``thread_name`` metadata records label every row — Perfetto shows
+"tenant 0" and "channel 3", not bare pids and tids.  Timestamps are
+already in microseconds — exactly the unit the format expects.
 """
 
 from __future__ import annotations
@@ -22,41 +25,93 @@ from .trace import TraceEvent
 
 __all__ = ["to_chrome_trace", "write_chrome_trace"]
 
-_PID = 1
+#: track-prefix -> (pid, process name, thread-name template); matched in
+#: order, first hit wins ("host" before "w" keeps "host" out of "w*").
+_GROUPS = (
+    ("host", 1, "host", "host"),
+    ("w", 1, "host", "tenant {n}"),
+    ("ch", 2, "channels", "channel {n}"),
+    ("die", 3, "dies", "die {n}"),
+)
+_FALLBACK_PID = 4
+_FALLBACK_PROCESS = "sim"
+
+
+def _classify(track: str) -> tuple[int, str, str]:
+    """(pid, process name, readable thread name) for one track."""
+    for prefix, pid, process, template in _GROUPS:
+        if track.startswith(prefix):
+            suffix = track[len(prefix):]
+            if suffix == "" or suffix.isdigit():
+                return pid, process, template.format(n=suffix)
+    return _FALLBACK_PID, _FALLBACK_PROCESS, track
 
 
 def _track_order(track: str) -> tuple:
-    """Stable, human-friendly row order: host, channels, dies, rest."""
-    for prefix, rank in (("host", 0), ("w", 1), ("ch", 2), ("die", 3)):
+    """Stable, human-friendly row order: host, tenants, channels, dies, rest."""
+    for rank, (prefix, _pid, _process, _template) in enumerate(_GROUPS):
         if track.startswith(prefix):
             suffix = track[len(prefix):]
             num = int(suffix) if suffix.isdigit() else 0
             return (rank, num, track)
-    return (4, 0, track)
+    return (len(_GROUPS), 0, track)
 
 
 def to_chrome_trace(events: Iterable[TraceEvent]) -> dict:
     """Build the ``{"traceEvents": [...]}`` document (plain dict)."""
     events = list(events)
     tracks = sorted({e.track or "sim" for e in events}, key=_track_order)
-    tids = {track: i + 1 for i, track in enumerate(tracks)}
+    pids: dict[str, int] = {}
+    names: dict[str, str] = {}
+    tids: dict[str, int] = {}
+    processes: dict[int, str] = {}
+    next_tid: dict[int, int] = {}
+    for track in tracks:
+        pid, process, thread_name = _classify(track)
+        pids[track] = pid
+        names[track] = thread_name
+        processes.setdefault(pid, process)
+        tid = next_tid.get(pid, 0) + 1
+        next_tid[pid] = tid
+        tids[track] = tid
 
-    out: list[dict] = [
+    out: list[dict] = []
+    for pid, process in sorted(processes.items()):
+        out.append(
+            {
+                "ph": "M",
+                "pid": pid,
+                "tid": 0,
+                "name": "process_name",
+                "args": {"name": process},
+            }
+        )
+        out.append(
+            {
+                "ph": "M",
+                "pid": pid,
+                "tid": 0,
+                "name": "process_sort_index",
+                "args": {"sort_index": pid},
+            }
+        )
+    out.extend(
         {
             "ph": "M",
-            "pid": _PID,
+            "pid": pids[track],
             "tid": tid,
             "name": "thread_name",
-            "args": {"name": track},
+            "args": {"name": names[track]},
         }
         for track, tid in tids.items()
-    ]
+    )
     for e in events:
+        track = e.track or "sim"
         record = {
             "name": e.name,
             "cat": e.cat,
-            "pid": _PID,
-            "tid": tids[e.track or "sim"],
+            "pid": pids[track],
+            "tid": tids[track],
             "ts": e.ts_us,
         }
         if e.args:

@@ -71,30 +71,46 @@ class UtilizationProfiler:
     def _sample(self) -> None:
         loop = self._loop
         now = loop.now
-        window = now - self._last_ts
-        if window > 0:
-            self.times_us.append(now)
-            ch_row = []
-            for i, c in enumerate(self._channels):
-                busy = c.busy_time_us
-                ch_row.append((busy - self._last_ch[i]) / window)
-                self._last_ch[i] = busy
-            die_row = []
-            for i, d in enumerate(self._dies):
-                busy = d.busy_time_us
-                die_row.append((busy - self._last_die[i]) / window)
-                self._last_die[i] = busy
-            self.channel_busy.append(ch_row)
-            self.die_busy.append(die_row)
-            self.channel_queue.append(
-                [c.queue_depth + (1 if c.busy else 0) for c in self._channels]
-            )
-            self.die_queue.append(
-                [d.queue_depth + (1 if d.busy else 0) for d in self._dies]
-            )
-            self._last_ts = now
+        self._record_window(now)
         if loop:  # other events pending: keep sampling
             loop.schedule(now + self.interval_us, self._sample)
+
+    def _record_window(self, now: float) -> None:
+        """Close the window ``[_last_ts, now]`` into one sample row."""
+        window = now - self._last_ts
+        if window <= 0:
+            return
+        self.times_us.append(now)
+        ch_row = []
+        for i, c in enumerate(self._channels):
+            busy = c.busy_time_us
+            ch_row.append((busy - self._last_ch[i]) / window)
+            self._last_ch[i] = busy
+        die_row = []
+        for i, d in enumerate(self._dies):
+            busy = d.busy_time_us
+            die_row.append((busy - self._last_die[i]) / window)
+            self._last_die[i] = busy
+        self.channel_busy.append(ch_row)
+        self.die_busy.append(die_row)
+        self.channel_queue.append(
+            [c.queue_depth + (1 if c.busy else 0) for c in self._channels]
+        )
+        self.die_queue.append(
+            [d.queue_depth + (1 if d.busy else 0) for d in self._dies]
+        )
+        self._last_ts = now
+
+    def flush(self) -> None:
+        """Record the final partial window after the loop drained.
+
+        Without this, activity between the last interval boundary and the
+        end of the run is silently dropped (the sampler cannot re-arm on
+        an empty loop), so the series under-covers the tail of the run.
+        The simulator calls this once after ``loop.run()`` returns.
+        """
+        if self._loop is not None:
+            self._record_window(self._loop.now)
 
     # ------------------------------------------------------------------
     def channel_series(self, channel: int) -> list[tuple[float, float]]:

@@ -71,11 +71,15 @@ class FTLController:
         self._planes_per_channel = (
             config.chips_per_channel * config.dies_per_chip * config.planes_per_die
         )
+        #: optional :class:`repro.obs.attribution.AttributionCollector`
+        #: carried by ``obs``; notes which tenant triggered GC work
+        self._attribution = obs.attribution if obs is not None else None
         self.gc = GarbageCollector(
             self.state,
             metrics=obs.registry if obs is not None else None,
             faults=faults,
             sanitizer=sanitizer,
+            attribution=self._attribution,
         )
         self.load_fn = load_fn or _idle_load
         self.channel_sets = {wid: sorted(set(chs)) for wid, chs in channel_sets.items()}
@@ -160,6 +164,10 @@ class FTLController:
         else:
             ppn = self.state.write(glpn, plane)
         work.extend(self.gc.maybe_collect(plane))
+        if work:
+            attribution = self._attribution
+            if attribution is not None:
+                attribution.note_gc_trigger(workload_id, len(work))
         return ppn, work
 
     # ------------------------------------------------------------------

@@ -82,8 +82,8 @@ class Resource:
 
     __slots__ = (
         "loop", "name", "busy", "free_at", "_waiters", "_seq",
-        "busy_time_us", "grants", "wait_time_us", "trace", "kind",
-        "sanitizer",
+        "busy_time_us", "grants", "wait_time_us", "gc_busy_time_us",
+        "trace", "kind", "sanitizer",
     )
 
     def __init__(self, loop: EventLoop, name: str = "", kind: str = "resource") -> None:
@@ -97,6 +97,12 @@ class Resource:
         self.busy_time_us = 0.0
         self.grants = 0
         self.wait_time_us = 0.0
+        #: busy time booked for *internal* (GC-priority) work — copyback,
+        #: erase, fault relocation.  Booked at grant time by the caller
+        #: (see ``SSDSimulator._charge_gc``); latency attribution samples
+        #: the delta across a host job's wait to separate GC stall from
+        #: plain queueing.
+        self.gc_busy_time_us = 0.0
         # --- observability (no-op unless a recorder is attached) ---
         #: optional :class:`repro.obs.trace.TraceRecorder`; when set, each
         #: grant emits ``{kind}_acquire`` (with the service duration) and

@@ -223,6 +223,13 @@ class FaultInjector:
                 worst, rate = channel, health.error_rate
         return worst, rate
 
+    def channel_error_rates(self) -> dict[int, float]:
+        """Per-channel observed error rate (channels with traffic only)."""
+        return {
+            channel: health.error_rate
+            for channel, health in sorted(self._channels.items())
+        }
+
     # ------------------------------------------------------------------
     def summary(self) -> dict:
         """Counter snapshot embedded into ``SimulationResult.extras``."""
@@ -237,9 +244,15 @@ class FaultInjector:
         }
 
     def publish(self, registry) -> None:
-        """Mirror the counters into an obs registry as ``faults.*``."""
+        """Mirror the counters into an obs registry as ``faults.*``.
+
+        Per-channel error rates go in as gauges so ``repro stats --json``
+        can show *where* the device is degrading, not just how much.
+        """
         for name, value in self.summary().items():
             registry.counter(f"faults.{name}").value = value
+        for channel, rate in self.channel_error_rates().items():
+            registry.gauge(f"faults.channel.{channel}.error_rate").set(rate)
 
 
 @dataclass(frozen=True)

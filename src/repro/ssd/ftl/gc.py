@@ -50,7 +50,13 @@ class GarbageCollector:
     """Greedy (min-valid-pages) victim selection per plane."""
 
     def __init__(
-        self, state: FlashArrayState, *, metrics=None, faults=None, sanitizer=None
+        self,
+        state: FlashArrayState,
+        *,
+        metrics=None,
+        faults=None,
+        sanitizer=None,
+        attribution=None,
     ) -> None:
         self.state = state
         #: optional :class:`repro.ssd.faults.FaultInjector`; when attached,
@@ -59,6 +65,9 @@ class GarbageCollector:
         #: optional :class:`repro.analysis.Sanitizer`; when attached, every
         #: reclaimed block re-checks conservation and mapping bijectivity
         self.sanitizer = sanitizer
+        #: optional :class:`repro.obs.attribution.AttributionCollector`;
+        #: when attached, every reclaim is noted against its channel
+        self.attribution = attribution
         cfg = state.config
         self._planes_per_channel = (
             cfg.chips_per_channel * cfg.dies_per_chip * cfg.planes_per_die
@@ -146,4 +155,9 @@ class GarbageCollector:
             self._c_pages_moved.inc(moves)
         if self.sanitizer is not None:
             self.sanitizer.after_gc(self.state, plane)
+        attribution = self.attribution
+        if attribution is not None:
+            attribution.note_gc_reclaim(
+                plane.plane_index // self._planes_per_channel, moves, retired
+            )
         return GCWorkItem(plane.plane_index, victim, moves, retired=retired)

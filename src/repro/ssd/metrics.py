@@ -11,9 +11,12 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 import math
-from typing import ClassVar
+from typing import TYPE_CHECKING, ClassVar
 
 from .request import OpType
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (obs is optional)
+    from ..obs.attribution import LatencyBreakdown
 
 __all__ = ["OpStats", "LatencyAccumulator", "SimulationResult"]
 
@@ -156,6 +159,9 @@ class SimulationResult:
     #: DES events processed (0 for the fast model)
     events: int = 0
     extras: dict = field(default_factory=dict)
+    #: per-phase latency attribution summary, present only when the run was
+    #: observed with ``Observability(attribution=True)``
+    breakdown: "LatencyBreakdown | None" = None
 
     @property
     def total_latency_us(self) -> float:
@@ -225,6 +231,7 @@ def build_result(
     channel_wait_us: float = 0.0,
     events: int = 0,
     extras: dict | None = None,
+    breakdown: "LatencyBreakdown | None" = None,
 ) -> SimulationResult:
     """Assemble a :class:`SimulationResult` from an accumulator."""
     per_workload = {
@@ -245,4 +252,5 @@ def build_result(
         channel_wait_us=channel_wait_us,
         events=events,
         extras=extras or {},
+        breakdown=breakdown,
     )

@@ -37,13 +37,16 @@ __all__ = ["SSDSimulator", "simulate"]
 class _InFlight:
     """Book-keeping for one host request while its pages are in service."""
 
-    __slots__ = ("request", "remaining", "last_end_us", "failed")
+    __slots__ = ("request", "remaining", "last_end_us", "failed", "span")
 
     def __init__(self, request: IORequest) -> None:
         self.request = request
         self.remaining = request.length
         self.last_end_us = request.arrival_us
         self.failed = False
+        #: critical-path attribution span (only when attribution is on):
+        #: the timeline of the page that completed last
+        self.span = None
 
 
 class SSDSimulator:
@@ -65,8 +68,15 @@ class SSDSimulator:
         ``subrequest_dispatch``, ``channel_acquire``/``release``,
         ``gc_start``/``end``), publishes counters and latency histograms
         into the registry, and — if ``utilization_interval_us`` is set —
-        samples per-channel/per-die utilization time series.  ``None``
-        (the default) costs one pointer test per hook.
+        samples per-channel/per-die utilization time series.  When the
+        bundle carries an :class:`~repro.obs.attribution.AttributionCollector`
+        (``Observability(attribution=True)``), every completed request's
+        latency is additionally decomposed into exact-sum phases along
+        its critical path and the run's result carries the aggregated
+        :class:`~repro.obs.attribution.LatencyBreakdown`.  ``None``
+        (the default) costs one pointer test per hook; attribution adds
+        no events and no randomness, so an attributed run's latencies
+        are identical to an unattributed one.
     """
 
     def __init__(
@@ -117,6 +127,11 @@ class SSDSimulator:
             self.faults = FaultInjector(faults)
         self._trace = None
         self._hist = None
+        #: optional :class:`~repro.obs.attribution.AttributionCollector`
+        #: carried by ``obs``; ``None`` costs one pointer test per page
+        self._attribution = obs.attribution if obs is not None else None
+        if self._attribution is not None and sanitizer is not None:
+            self._attribution.sanitizer = sanitizer
         if obs is not None:
             if obs.trace.enabled:
                 self._trace = obs.trace
@@ -178,6 +193,7 @@ class SSDSimulator:
             "dies": [d.utilization(elapsed_us) for d in self.dies],
             "channel_wait_us": sum(c.wait_time_us for c in self.channels),
             "die_wait_us": sum(d.wait_time_us for d in self.dies),
+            "gc_busy_us": sum(d.gc_busy_time_us for d in self.dies),
         }
 
     def _die_of_ppn(self, ppn: int) -> Resource:
@@ -200,8 +216,12 @@ class SSDSimulator:
             obs.profiler = UtilizationProfiler(obs.utilization_interval_us)
             obs.profiler.attach(self.loop, self.channels, self.dies)
         self.loop.run()
+        if obs is not None and obs.profiler is not None:
+            # flush the final partial window so the series covers the run
+            obs.profiler.flush()
         if self._inflight:  # pragma: no cover - engine invariant
             raise RuntimeError(f"{len(self._inflight)} requests never completed")
+        attribution = self._attribution
         result = build_result(
             self.acc,
             makespan_us=self.loop.now,
@@ -213,6 +233,7 @@ class SSDSimulator:
             die_wait_us=sum(d.wait_time_us for d in self.dies),
             channel_wait_us=sum(c.wait_time_us for c in self.channels),
             events=self.loop.events_processed,
+            breakdown=attribution.breakdown() if attribution is not None else None,
             extras={
                 "seeded_pages": self.controller.seeded_pages,
                 "mapped_pages": self.controller.mapped_pages(),
@@ -259,6 +280,10 @@ class SSDSimulator:
             self.faults.publish(reg)
         if self.obs.profiler is not None:
             self.obs.profiler.publish(reg)
+        if result.breakdown is not None:
+            reg.counter("attr.requests").value = result.breakdown.requests
+            for phase, total_us in result.breakdown.phase_totals_us.items():
+                reg.gauge(f"attr.{phase}").set(total_us)
 
     # ------------------------------------------------------------------
     def _make_submit(self, req: IORequest):
@@ -307,8 +332,14 @@ class SSDSimulator:
             self._issue_background_write(wid, victim_lpn)
         if req.op is OpType.WRITE or outcome.hit:
             # Absorbed write or DRAM read hit: completes at DRAM latency.
-            done = self.loop.now + self.buffer.config.dram_latency_us
-            self.loop.schedule(done, lambda: self._complete_page(key))
+            dram_us = self.buffer.config.dram_latency_us
+            done = self.loop.now + dram_us
+            span = None
+            attribution = self._attribution
+            if attribution is not None:
+                span = attribution.span(-1)
+                span.buffer_us = dram_us
+            self.loop.schedule(done, lambda: self._complete_page(key, span=span))
             return True
         return False
 
@@ -343,6 +374,10 @@ class SSDSimulator:
 
         prio = self._read_prio
         die_us = t.read_die_us
+        span = None
+        attribution = self._attribution
+        if attribution is not None:
+            span = attribution.span(self.controller.geometry.channel_of(ppn))
         unrecoverable = False
         if self.faults is not None:
             geom = self.controller.geometry
@@ -365,6 +400,10 @@ class SSDSimulator:
 
         def die_granted(start: float) -> None:
             done = start + die_us
+            if span is not None:
+                span.die_granted(start, die)
+                span.die_us = t.read_die_us
+                span.ecc_retry_us = die_us - t.read_die_us
             if unrecoverable:
                 # ECC exhausted: the die time was spent but no data moves
                 # over the bus — the request surfaces as a failed read.
@@ -372,13 +411,22 @@ class SSDSimulator:
                 return
 
             def to_bus() -> None:
+                if span is not None:
+                    span.bus_enqueued(self.loop.now)
                 bus.acquire((prio, self.loop.now), t.read_bus_us, bus_granted)
 
             self.loop.schedule(done, to_bus)
 
         def bus_granted(start: float) -> None:
-            self.loop.schedule(start + t.read_bus_us, lambda: self._complete_page(key))
+            if span is not None:
+                span.bus_granted(start)
+                span.bus_us = t.read_bus_us
+            self.loop.schedule(
+                start + t.read_bus_us, lambda: self._complete_page(key, span=span)
+            )
 
+        if span is not None:
+            span.die_enqueued(self.loop.now, die)
         die.acquire((prio, self.loop.now), die_us, die_granted)
 
     def _issue_write(self, key: int, wid: int, lpn: int) -> None:
@@ -390,18 +438,34 @@ class SSDSimulator:
             self._dispatch_event(wid, lpn, ppn, "write", die, bus)
         if gc_items:
             self._charge_gc(gc_items)
+        span = None
+        attribution = self._attribution
+        if attribution is not None:
+            span = attribution.span(self.controller.geometry.channel_of(ppn))
 
         def bus_granted(start: float) -> None:
             done = start + t.write_bus_us
+            if span is not None:
+                span.bus_granted(start)
+                span.bus_us = t.write_bus_us
 
             def to_die() -> None:
+                if span is not None:
+                    span.die_enqueued(self.loop.now, die)
                 die.acquire((PRIO_WRITE, self.loop.now), t.write_die_us, die_granted)
 
             self.loop.schedule(done, to_die)
 
         def die_granted(start: float) -> None:
-            self.loop.schedule(start + t.write_die_us, lambda: self._complete_page(key))
+            if span is not None:
+                span.die_granted(start, die)
+                span.die_us = t.write_die_us
+            self.loop.schedule(
+                start + t.write_die_us, lambda: self._complete_page(key, span=span)
+            )
 
+        if span is not None:
+            span.bus_enqueued(self.loop.now)
         bus.acquire((PRIO_WRITE, self.loop.now), t.write_bus_us, bus_granted)
 
     def _dispatch_event(self, wid, lpn, ppn, op, die, bus) -> None:
@@ -423,15 +487,22 @@ class SSDSimulator:
         tr = self._trace
         for item in items:
             die = self.dies[item.plane_index // self._planes_per_die]
-            duration = item.die_us(t)
+            duration_us = item.die_us(t)
             if tr is None:
-                die.acquire((PRIO_GC, self.loop.now), duration, lambda _start: None)
+
+                def book(start, die=die, duration_us=duration_us):
+                    # booked at grant time so waiting host jobs can sample
+                    # the overlap (see Resource.gc_busy_time_us)
+                    die.gc_busy_time_us += duration_us
+
+                die.acquire((PRIO_GC, self.loop.now), duration_us, book)
             else:
                 is_gc = isinstance(item, GCWorkItem)
                 retired = not is_gc or item.retired
 
-                def on_grant(start, die=die, item=item, duration=duration,
+                def on_grant(start, die=die, item=item, duration_us=duration_us,
                              is_gc=is_gc, retired=retired):
+                    die.gc_busy_time_us += duration_us
                     if is_gc:
                         tr.emit(
                             start, "gc_start", die.name, "gc",
@@ -439,7 +510,7 @@ class SSDSimulator:
                                   "moves": item.moves},
                         )
                         self.loop.schedule(
-                            start + duration,
+                            start + duration_us,
                             lambda: tr.emit(self.loop.now, "gc_end", die.name, "gc"),
                         )
                     if retired:
@@ -449,16 +520,22 @@ class SSDSimulator:
                                   "moves": item.moves},
                         )
 
-                die.acquire((PRIO_GC, self.loop.now), duration, on_grant)
+                die.acquire((PRIO_GC, self.loop.now), duration_us, on_grant)
 
-    def _complete_page(self, key: int, failed: bool = False) -> None:
+    def _complete_page(self, key: int, failed: bool = False, span=None) -> None:
         flight = self._inflight[key]
         flight.remaining -= 1
         self.subrequests_done += 1
         if failed:
             flight.failed = True
-        if flight.last_end_us < self.loop.now:
+        if flight.last_end_us <= self.loop.now:
             flight.last_end_us = self.loop.now
+            if span is not None:
+                # this page (co-)defines the critical path: any page ending
+                # at the request's completion time telescopes, phase by
+                # phase, back to its arrival — keep its span
+                span.end_us = self.loop.now
+                flight.span = span
         if flight.remaining == 0:
             req = flight.request
             req.complete_us = flight.last_end_us
@@ -470,6 +547,8 @@ class SSDSimulator:
                 self.acc.add(req.workload_id, req.op, req.latency_us)
                 if self._hist is not None:
                     self._hist[req.op].observe(req.latency_us)
+                if self._attribution is not None and flight.span is not None:
+                    self._attribution.record(req, flight.span)
             del self._inflight[key]
             self.requests_done += 1
 

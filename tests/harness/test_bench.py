@@ -1,0 +1,271 @@
+"""Benchmark harness: suite runs, schema, baseline comparison, CLI."""
+
+import copy
+import json
+
+import pytest
+
+from repro.harness.bench import (
+    SCENARIOS,
+    SCHEMA_VERSION,
+    compare,
+    main,
+    run_bench,
+    run_scenario,
+    write_bench,
+)
+
+
+@pytest.fixture(scope="module")
+def quick_doc():
+    return run_bench(quick=True, scenarios=["mix2_shared", "fastmodel"])
+
+
+def make_doc(wall_s=0.5, rps=1000.0, read_us=100.0, *, quick=True):
+    return {
+        "schema_version": SCHEMA_VERSION,
+        "created": "2026-01-01T00:00:00Z",
+        "quick": quick,
+        "repeat": 1,
+        "scenarios": {
+            "mix2_shared": {
+                "kind": "simulator",
+                "requests": 600,
+                "metrics": {
+                    "wall_s": wall_s,
+                    "requests_per_s": rps,
+                    "sim_mean_read_us": read_us,
+                },
+            }
+        },
+    }
+
+
+class TestRunScenario:
+    def test_simulator_scenario_records_attribution(self, quick_doc):
+        entry = quick_doc["scenarios"]["mix2_shared"]
+        assert entry["kind"] == "simulator"
+        assert entry["requests"] == 600
+        m = entry["metrics"]
+        assert m["wall_s"] > 0
+        assert m["requests_per_s"] > 0
+        assert m["sim_mean_read_us"] > 0
+        attr = entry["attribution"]
+        assert attr["requests"] == 600
+        assert sum(attr["phase_fractions"].values()) == pytest.approx(1.0)
+
+    def test_fastmodel_scenario_has_no_attribution(self, quick_doc):
+        entry = quick_doc["scenarios"]["fastmodel"]
+        assert entry["kind"] == "fastmodel"
+        assert "attribution" not in entry
+
+    def test_simulated_metrics_are_deterministic(self):
+        a = run_scenario("mix2_shared", quick=True)
+        b = run_scenario("mix2_shared", quick=True, repeat=2)
+        for name in ("sim_mean_read_us", "sim_mean_write_us",
+                     "sim_total_latency_us"):
+            assert a["metrics"][name] == b["metrics"][name]
+
+    def test_gc_heavy_scenario_stalls_on_gc(self):
+        entry = run_scenario("gc_heavy", quick=True)
+        assert entry["attribution"]["phase_totals_us"]["gc_stall_us"] > 0
+
+    def test_faulted_scenario_pays_ecc_retries(self):
+        entry = run_scenario("faulted", quick=True)
+        assert entry["attribution"]["phase_totals_us"]["ecc_retry_us"] > 0
+
+
+class TestRunBench:
+    def test_document_is_schema_versioned(self, quick_doc):
+        assert quick_doc["schema_version"] == SCHEMA_VERSION
+        assert quick_doc["quick"] is True
+        assert set(quick_doc["scenarios"]) == {"mix2_shared", "fastmodel"}
+
+    def test_unknown_scenario_rejected(self):
+        with pytest.raises(KeyError):
+            run_bench(quick=True, scenarios=["nope"])
+
+    def test_scenario_registry(self):
+        assert set(SCENARIOS) == {
+            "mix2_shared", "mix4_split", "gc_heavy", "faulted", "fastmodel",
+        }
+
+
+class TestWriteBench:
+    def test_writes_timestamped_json(self, quick_doc, tmp_path):
+        path = write_bench(quick_doc, tmp_path / "out")
+        assert path.name.startswith("BENCH_")
+        assert path.name.endswith(".json")
+        back = json.loads(path.read_text())
+        assert back["schema_version"] == SCHEMA_VERSION
+        assert back["scenarios"]["mix2_shared"]["requests"] == 600
+
+
+class TestCompare:
+    def test_identical_docs_pass(self):
+        doc = make_doc()
+        assert compare(doc, doc, max_regression_pct=30.0) == []
+
+    def test_wall_clock_regression_detected(self):
+        base = make_doc(wall_s=0.5)
+        cur = make_doc(wall_s=0.8)  # +60%
+        regs = compare(cur, base, max_regression_pct=30.0)
+        assert [r.metric for r in regs] == ["wall_s"]
+        assert regs[0].change_pct == pytest.approx(60.0)
+        assert "mix2_shared.wall_s" in regs[0].describe()
+
+    def test_throughput_regression_is_direction_aware(self):
+        base = make_doc(rps=1000.0)
+        # throughput going UP is an improvement, not a regression
+        assert compare(make_doc(rps=2000.0), base, max_regression_pct=30.0) == []
+        regs = compare(make_doc(rps=500.0), base, max_regression_pct=30.0)
+        assert [r.metric for r in regs] == ["requests_per_s"]
+
+    def test_wall_clock_improvement_passes(self):
+        base = make_doc(wall_s=0.5)
+        assert compare(make_doc(wall_s=0.1), base, max_regression_pct=30.0) == []
+
+    def test_deterministic_metric_regression_detected(self):
+        base = make_doc(read_us=100.0)
+        regs = compare(make_doc(read_us=150.0), base, max_regression_pct=30.0)
+        assert [r.metric for r in regs] == ["sim_mean_read_us"]
+
+    def test_sub_floor_wall_metrics_are_skipped(self):
+        # both runs under the noise floor: wall-clock percent thresholds
+        # are meaningless, but deterministic metrics still compare
+        base = make_doc(wall_s=0.004, rps=150000.0)
+        cur = make_doc(wall_s=0.016, rps=37000.0)  # 4x wall noise
+        assert compare(cur, base, max_regression_pct=30.0) == []
+        cur = make_doc(wall_s=0.016, rps=37000.0, read_us=200.0)
+        regs = compare(cur, base, max_regression_pct=30.0)
+        assert [r.metric for r in regs] == ["sim_mean_read_us"]
+
+    def test_schema_mismatch_refused(self):
+        base = make_doc()
+        bad = copy.deepcopy(base)
+        bad["schema_version"] = 99
+        with pytest.raises(ValueError, match="schema_version"):
+            compare(bad, base, max_regression_pct=30.0)
+        with pytest.raises(ValueError, match="schema_version"):
+            compare(base, bad, max_regression_pct=30.0)
+
+    def test_quick_full_mismatch_refused(self):
+        with pytest.raises(ValueError, match="quick"):
+            compare(make_doc(quick=True), make_doc(quick=False),
+                    max_regression_pct=30.0)
+
+    def test_negative_threshold_rejected(self):
+        doc = make_doc()
+        with pytest.raises(ValueError):
+            compare(doc, doc, max_regression_pct=-1.0)
+
+    def test_new_scenarios_and_metrics_are_skipped(self):
+        base = make_doc()
+        cur = copy.deepcopy(base)
+        cur["scenarios"]["brand_new"] = {
+            "metrics": {"wall_s": 99.0}
+        }
+        cur["scenarios"]["mix2_shared"]["metrics"]["novel_metric"] = 1.0
+        assert compare(cur, base, max_regression_pct=30.0) == []
+
+
+class TestCli:
+    def run_main(self, args, capsys):
+        code = main(args)
+        out = capsys.readouterr()
+        return code, out.out, out.err
+
+    def test_run_and_write(self, tmp_path, capsys):
+        code, out, _ = self.run_main(
+            ["--quick", "--scenario", "mix2_shared", "--out", str(tmp_path)],
+            capsys,
+        )
+        assert code == 0
+        assert "mix2_shared" in out
+        files = list(tmp_path.glob("BENCH_*.json"))
+        assert len(files) == 1
+
+    def test_json_output(self, tmp_path, capsys):
+        code, out, _ = self.run_main(
+            ["--quick", "--scenario", "fastmodel", "--json",
+             "--out", str(tmp_path)],
+            capsys,
+        )
+        assert code == 0
+        doc = json.loads(out[: out.rindex("}") + 1])
+        assert doc["schema_version"] == SCHEMA_VERSION
+
+    def test_baseline_pass_and_regression_exits(self, tmp_path, capsys):
+        # write a baseline from a real quick run, then compare against it
+        code, _, _ = self.run_main(
+            ["--quick", "--scenario", "mix2_shared", "--out", str(tmp_path)],
+            capsys,
+        )
+        assert code == 0
+        baseline_path = next(tmp_path.glob("BENCH_*.json"))
+        code, out, _ = self.run_main(
+            ["--quick", "--scenario", "mix2_shared", "--no-write",
+             "--baseline", str(baseline_path), "--max-regression", "500"],
+            capsys,
+        )
+        assert code == 0
+        assert "baseline check passed" in out
+        # poison the baseline's deterministic metric: must exit 1
+        doc = json.loads(baseline_path.read_text())
+        doc["scenarios"]["mix2_shared"]["metrics"]["sim_mean_read_us"] /= 10.0
+        baseline_path.write_text(json.dumps(doc))
+        code, _, err = self.run_main(
+            ["--quick", "--scenario", "mix2_shared", "--no-write",
+             "--baseline", str(baseline_path), "--max-regression", "500"],
+            capsys,
+        )
+        assert code == 1
+        assert "REGRESSION" in err
+        assert "sim_mean_read_us" in err
+
+    def test_missing_baseline_exits_2(self, capsys):
+        code, _, err = self.run_main(
+            ["--quick", "--no-write", "--baseline", "/nonexistent.json"],
+            capsys,
+        )
+        assert code == 2
+        assert "cannot read baseline" in err
+
+    def test_incomparable_baseline_exits_2(self, tmp_path, capsys):
+        bad = tmp_path / "bad.json"
+        bad.write_text(json.dumps({"schema_version": 99, "scenarios": {}}))
+        code, _, err = self.run_main(
+            ["--quick", "--scenario", "fastmodel", "--no-write",
+             "--baseline", str(bad)],
+            capsys,
+        )
+        assert code == 2
+        assert "schema_version" in err
+
+    def test_unknown_scenario_exits_2(self, capsys):
+        code, _, err = self.run_main(
+            ["--quick", "--scenario", "nope", "--no-write"], capsys
+        )
+        assert code == 2
+        assert "unknown scenario" in err
+
+    def test_repro_cli_delegates_bench(self, tmp_path, capsys):
+        from repro.harness.cli import main as repro_main
+
+        code = repro_main(
+            ["bench", "--quick", "--scenario", "fastmodel",
+             "--out", str(tmp_path)]
+        )
+        assert code == 0
+        assert list(tmp_path.glob("BENCH_*.json"))
+
+
+class TestCommittedBaseline:
+    def test_repo_baseline_is_current_schema(self):
+        from pathlib import Path
+
+        path = Path(__file__).resolve().parents[2] / "benchmarks/baseline.json"
+        doc = json.loads(path.read_text())
+        assert doc["schema_version"] == SCHEMA_VERSION
+        assert doc["quick"] is True
+        assert set(doc["scenarios"]) == set(SCENARIOS)

@@ -36,6 +36,7 @@ class TestCli:
         assert "counters & gauges" in out
         assert "sim.requests" in out
         assert "latency histograms" in out
+        assert "latency attribution over" in out
         assert jsonl.read_text().count("\n") > 0
         assert "traceEvents" in chrome.read_text()
         assert "utilization" in metrics.read_text()
@@ -49,6 +50,20 @@ class TestCli:
         doc = json.loads(out[out.index("{"):])
         assert doc["counters"]["sim.requests"] > 0
         assert "utilization" not in doc
+        attr = doc["attribution"]
+        assert attr["requests"] > 0
+        assert abs(sum(attr["phase_fractions"].values()) - 1.0) < 1e-6
+
+    def test_faults_json_reports_fault_section(self, capsys):
+        import json
+
+        assert main(["faults", "--scale", "smoke", "--json",
+                     "--utilization-interval", "0",
+                     "--read-ber", "0.05"]) == 0
+        out = capsys.readouterr().out
+        doc = json.loads(out[out.index("{"):])
+        assert any(k.startswith("faults.") for k in doc["faults"])
+        assert doc["attribution"]["requests"] > 0
 
     def test_unknown_command_rejected(self):
         with pytest.raises(SystemExit):

@@ -18,16 +18,37 @@ class TestToChromeTrace:
     def test_document_shape(self):
         doc = to_chrome_trace(sample_events())
         assert set(doc) == {"traceEvents", "displayTimeUnit"}
-        # 3 tracks -> 3 metadata records + 4 events
-        assert len(doc["traceEvents"]) == 7
+        # 3 processes (host/channels/dies) x 2 process metadata records
+        # + 3 thread_name records + 4 events
+        assert len(doc["traceEvents"]) == 13
 
-    def test_thread_names_and_stable_tids(self):
+    def test_process_names_cover_every_pid(self):
         doc = to_chrome_trace(sample_events())
-        meta = [r for r in doc["traceEvents"] if r["ph"] == "M"]
-        names = {r["args"]["name"]: r["tid"] for r in meta}
-        assert set(names) == {"w0", "ch0", "die2"}
-        # ordering: workers before channels before dies
-        assert names["w0"] < names["ch0"] < names["die2"]
+        records = doc["traceEvents"]
+        named = {
+            r["pid"]: r["args"]["name"]
+            for r in records
+            if r["ph"] == "M" and r["name"] == "process_name"
+        }
+        assert set(named.values()) == {"host", "channels", "dies"}
+        assert {r["pid"] for r in records} <= set(named)
+
+    def test_thread_names_are_readable(self):
+        doc = to_chrome_trace(sample_events())
+        meta = [
+            r for r in doc["traceEvents"]
+            if r["ph"] == "M" and r["name"] == "thread_name"
+        ]
+        names = {r["args"]["name"] for r in meta}
+        assert names == {"tenant 0", "channel 0", "die 2"}
+
+    def test_tracks_group_into_processes(self):
+        doc = to_chrome_trace(sample_events())
+        events = [r for r in doc["traceEvents"] if r["ph"] != "M"]
+        pid_of = {r["name"]: r["pid"] for r in events}
+        assert pid_of["channel_acquire"] == pid_of["channel_release"]
+        assert pid_of["request_submit"] != pid_of["channel_acquire"]
+        assert pid_of["channel_acquire"] != pid_of["die_acquire"]
 
     def test_duration_events_are_complete_spans(self):
         doc = to_chrome_trace(sample_events())
@@ -44,18 +65,32 @@ class TestToChromeTrace:
         }
         assert all(r["s"] == "t" for r in instants)
 
-    def test_events_share_one_pid_and_resolve_tids(self):
+    def test_events_resolve_declared_threads(self):
         doc = to_chrome_trace(sample_events())
         records = doc["traceEvents"]
-        assert len({r["pid"] for r in records}) == 1
-        meta_tids = {r["tid"] for r in records if r["ph"] == "M"}
-        event_tids = {r["tid"] for r in records if r["ph"] != "M"}
-        assert event_tids <= meta_tids
+        declared = {
+            (r["pid"], r["tid"])
+            for r in records
+            if r["ph"] == "M" and r["name"] == "thread_name"
+        }
+        used = {(r["pid"], r["tid"]) for r in records if r["ph"] != "M"}
+        assert used <= declared
 
-    def test_empty_track_maps_to_sim(self):
+    def test_empty_track_maps_to_sim_process(self):
         doc = to_chrome_trace([TraceEvent(0.0, "keeper_switch")])
-        meta = [r for r in doc["traceEvents"] if r["ph"] == "M"]
-        assert meta[0]["args"]["name"] == "sim"
+        records = doc["traceEvents"]
+        process = [
+            r["args"]["name"]
+            for r in records
+            if r["ph"] == "M" and r["name"] == "process_name"
+        ]
+        assert process == ["sim"]
+        threads = [
+            r["args"]["name"]
+            for r in records
+            if r["ph"] == "M" and r["name"] == "thread_name"
+        ]
+        assert threads == ["sim"]
 
     def test_write_round_trips(self, tmp_path):
         path = tmp_path / "trace.json"

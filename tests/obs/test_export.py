@@ -1,0 +1,60 @@
+"""Observability.export(): attribution, fault and keeper sections."""
+
+from repro.obs import Observability
+
+
+class FakeDecision:
+    """Duck-typed keeper decision (the export only reads these fields)."""
+
+    def __init__(self, time_us, fallback_reason=None):
+        self.time_us = time_us
+        self.fallback_reason = fallback_reason
+
+    def to_dict(self):
+        return {"time_us": self.time_us,
+                "fallback_reason": self.fallback_reason}
+
+
+class TestExportSections:
+    def test_bare_export_has_no_optional_sections(self):
+        out = Observability().export()
+        for section in ("attribution", "faults", "keeper",
+                        "keeper_decisions", "utilization"):
+            assert section not in out
+
+    def test_attribution_section(self):
+        obs = Observability(attribution=True)
+        out = obs.export()
+        assert out["attribution"]["requests"] == 0
+        assert "phase_totals_us" in out["attribution"]
+        assert "gc" in out["attribution"]
+
+    def test_faults_section_collects_counters_and_gauges(self):
+        obs = Observability()
+        obs.registry.counter("faults.read_retries").inc(3)
+        obs.registry.gauge("faults.channel.0.error_rate").set(0.25)
+        obs.registry.counter("sim.requests").inc()  # not a fault metric
+        out = obs.export()
+        assert out["faults"] == {
+            "faults.read_retries": 3,
+            "faults.channel.0.error_rate": 0.25,
+        }
+
+    def test_keeper_section_reports_fallbacks_and_health(self):
+        obs = Observability()
+        obs.registry.counter("keeper.fallbacks").inc(2)
+        obs.decisions.append(FakeDecision(100.0))
+        obs.decisions.append(FakeDecision(200.0, "unhealthy prediction"))
+        out = obs.export()
+        assert out["keeper"]["fallbacks"] == 2
+        health = out["keeper"]["prediction_health"]
+        assert [h["healthy"] for h in health] == [True, False]
+        assert health[1]["reason"] == "unhealthy prediction"
+        assert health[1]["time_us"] == 200.0
+
+    def test_keeper_section_present_with_decisions_but_no_counter(self):
+        obs = Observability()
+        obs.decisions.append(FakeDecision(50.0))
+        out = obs.export()
+        assert out["keeper"]["fallbacks"] == 0
+        assert len(out["keeper"]["prediction_health"]) == 1

@@ -56,6 +56,41 @@ class TestUtilizationProfiler:
         # final sample lands at most one interval past the last real event
         assert loop.now <= 2 * 5.0 + 10.0
 
+    def test_flush_records_partial_tail_window(self):
+        # a bounded run (`until=`) stops between interval boundaries, so
+        # activity after the last sample is dropped unless flushed
+        loop = EventLoop()
+        channel = Resource(loop, "ch0", kind="channel")
+        for when in (0.0, 12.0):
+            loop.schedule(
+                when,
+                lambda: channel.acquire((0,), 8.0, lambda start: None),
+            )
+        profiler = UtilizationProfiler(10.0)
+        profiler.attach(loop, [channel], [])
+        loop.run(until=15.0)
+        assert profiler.samples == 1  # only the t=10 boundary fired
+        profiler.flush()
+        assert profiler.samples == 2
+        assert profiler.times_us[-1] == loop.now == 12.0
+        # with the tail window included the series integrates to the
+        # full booked service time (2 jobs x 8us)
+        windows = [profiler.times_us[0]] + [
+            b - a for a, b in zip(profiler.times_us, profiler.times_us[1:])
+        ]
+        integral = sum(
+            f * w for (f,), w in zip(profiler.channel_busy, windows)
+        )
+        assert integral == pytest.approx(2 * 8.0)
+
+    def test_flush_is_idempotent_and_safe_unattached(self):
+        loop, profiler = busy_run()
+        profiler.flush()
+        samples = profiler.samples
+        profiler.flush()  # zero-length window: no extra row
+        assert profiler.samples == samples
+        UtilizationProfiler(5.0).flush()  # never attached: no-op
+
     def test_queue_depth_counts_holder(self):
         loop = EventLoop()
         channel = Resource(loop, "ch0", kind="channel")

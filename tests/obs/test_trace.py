@@ -34,6 +34,33 @@ class TestTraceRecorder:
         assert rec.evicted == 2
         assert [e.ts_us for e in rec.events()] == [2.0, 3.0, 4.0]
 
+    def test_wraparound_keeps_newest_window_in_order(self):
+        # several full wraps of the ring: only the newest `capacity`
+        # events survive, still in emission order
+        rec = TraceRecorder(capacity=4)
+        for i in range(11):
+            rec.emit(float(i), "e", f"t{i % 2}")
+        assert len(rec) == 4
+        assert rec.offered == 11
+        assert rec.evicted == 7
+        assert [e.ts_us for e in rec.events()] == [7.0, 8.0, 9.0, 10.0]
+
+    def test_wraparound_jsonl_export_matches_buffer(self, tmp_path):
+        rec = TraceRecorder(capacity=3)
+        for i in range(8):
+            rec.emit(float(i), "e", args={"i": i})
+        path = tmp_path / "wrapped.jsonl"
+        assert rec.write_jsonl(path) == 3
+        back = TraceRecorder.read_jsonl(path)
+        assert [e.args["i"] for e in back] == [5, 6, 7]
+
+    def test_wraparound_counters_account_for_every_offer(self):
+        rec = TraceRecorder(capacity=2, sample_every=2)
+        for i in range(10):
+            rec.emit(float(i), "e")
+        # every offered event is either kept, sampled out, or evicted
+        assert rec.offered == len(rec) + rec.sampled_out + rec.evicted
+
     def test_sampling_keeps_one_in_n(self):
         rec = TraceRecorder(sample_every=3)
         for i in range(9):
