@@ -112,6 +112,11 @@ class Sanitizer:
             out["attribution_checks"] = self.attribution_checks
         return out
 
+    def recent_events(self) -> list[str]:
+        """The recent-event ring, oldest first (flight-recorder bundles
+        embed it so a trap arrives with its immediate history attached)."""
+        return list(self._ring)
+
     # ------------------------------------------------------------------
     # Event loop
     # ------------------------------------------------------------------

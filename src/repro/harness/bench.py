@@ -211,19 +211,37 @@ SCENARIOS: dict[str, Callable] = {
 # Running
 # ----------------------------------------------------------------------
 def run_scenario(
-    name: str, *, quick: bool = False, repeat: int = 1, attribution: bool = True
+    name: str, *, quick: bool = False, repeat: int = 1,
+    attribution: bool = True, slo=None, flight_dir=None,
 ) -> dict:
     """Run one scenario ``repeat`` times; best wall-clock is recorded.
 
     Simulated metrics are deterministic, so repeats only damp host noise
     in ``wall_s`` / ``requests_per_s``.
+
+    ``slo`` (a spec dict or :class:`~repro.obs.slo.SloSpec`) arms the SLO
+    watchdog per event-driven scenario — the spec is re-validated against
+    the scenario's tenants — and the entry gains an ``"slo"`` section
+    (window/alert counts; comparison ignores it, so SLO'd runs stay
+    baseline-compatible).  ``flight_dir`` arms a flight recorder under
+    ``<flight_dir>/<scenario>``, so a paged regression comes with a
+    reproducible bundle attached.
     """
     builder = SCENARIOS[name]
     total = _QUICK_REQUESTS if quick else _FULL_REQUESTS
     kind, requests, cfg, sets, faults = builder(total)
+    slo_spec = None
+    if slo is not None and kind != "fastmodel":
+        from ..obs import SloSpec
+
+        slo_spec = (
+            slo if isinstance(slo, SloSpec)
+            else SloSpec.from_dict(slo, known_tenants=set(sets))
+        )
     best_wall_s = None
     result = None
     breakdown = None
+    obs = None
     for _ in range(max(1, repeat)):
         t0_s = time.perf_counter()
         if kind == "fastmodel":
@@ -234,7 +252,23 @@ def run_scenario(
             from ..obs import Observability
             from ..ssd.simulator import simulate
 
-            obs = Observability(trace=False, attribution=attribution)
+            recorder = None
+            if flight_dir is not None:
+                from ..obs import FlightRecorder
+
+                replay = ["python", "-m", "repro", "bench", "--scenario", name]
+                if quick:
+                    replay.append("--quick")
+                recorder = FlightRecorder(
+                    Path(flight_dir) / name,
+                    context={"scenario": name, "quick": quick,
+                             "requests": len(requests)},
+                    replay_argv=replay,
+                )
+            obs = Observability(
+                trace=False, attribution=attribution, slo=slo_spec,
+                flight_recorder=recorder,
+            )
             result = simulate(
                 requests, cfg, sets, record_latencies=True, obs=obs, faults=faults
             )
@@ -256,6 +290,17 @@ def run_scenario(
             "phase_totals_us": {**breakdown.phase_totals_us},
             "phase_fractions": breakdown.phase_fractions(),
         }
+    if obs is not None and obs.slo is not None:
+        rollup = obs.slo.summary()
+        out["slo"] = {
+            "windows": rollup["windows"],
+            "warn_alerts": rollup["warn_alerts"],
+            "page_alerts": rollup["page_alerts"],
+            "bundles": (
+                [str(p) for p in obs.flight_recorder.bundles]
+                if obs.flight_recorder is not None else []
+            ),
+        }
     return out
 
 
@@ -265,6 +310,8 @@ def run_bench(
     repeat: int = 1,
     attribution: bool = True,
     scenarios: list[str] | None = None,
+    slo=None,
+    flight_dir=None,
     log=None,
 ) -> dict:
     """Run the suite; returns the schema-versioned result document."""
@@ -285,17 +332,26 @@ def run_bench(
     }
     for name in names:
         entry = run_scenario(
-            name, quick=quick, repeat=repeat, attribution=attribution
+            name, quick=quick, repeat=repeat, attribution=attribution,
+            slo=slo, flight_dir=flight_dir,
         )
         doc["scenarios"][name] = entry
         if log is not None:
             m = entry["metrics"]
-            log(
+            line = (
                 f"{name:<12} {entry['requests']:>6} reqs  "
                 f"{m['wall_s']:.3f}s wall  {m['requests_per_s']:>9.0f} req/s  "
                 f"mean read {m['sim_mean_read_us']:.1f}us "
                 f"write {m['sim_mean_write_us']:.1f}us"
             )
+            slo_entry = entry.get("slo")
+            if slo_entry is not None:
+                line += (
+                    f"  slo[{slo_entry['windows']}w "
+                    f"{slo_entry['warn_alerts']}warn "
+                    f"{slo_entry['page_alerts']}page]"
+                )
+            log(line)
     return doc
 
 
@@ -447,6 +503,20 @@ def main(argv: list[str] | None = None) -> int:
         help="allowed regression per metric in percent (default 30)",
     )
     parser.add_argument(
+        "--slo",
+        metavar="FILE",
+        default=None,
+        help="arm the SLO watchdog per event-driven scenario with this "
+        "JSON spec (re-validated against each scenario's tenants)",
+    )
+    parser.add_argument(
+        "--flight-dir",
+        metavar="DIR",
+        default=None,
+        help="arm the flight recorder: page alerts and failures dump "
+        "reproducible bundles under DIR/<scenario>",
+    )
+    parser.add_argument(
         "--json",
         action="store_true",
         help="print the full result document to stdout as JSON",
@@ -454,6 +524,15 @@ def main(argv: list[str] | None = None) -> int:
     args = parser.parse_args(argv)
     if args.repeat < 1:
         parser.error("--repeat must be >= 1")
+
+    slo = None
+    if args.slo is not None:
+        try:
+            with open(args.slo, encoding="utf-8") as fh:
+                slo = json.load(fh)
+        except (OSError, json.JSONDecodeError) as exc:
+            print(f"repro bench: cannot read SLO spec: {exc}", file=sys.stderr)
+            return 2
 
     baseline = None
     if args.baseline is not None:
@@ -469,11 +548,20 @@ def main(argv: list[str] | None = None) -> int:
             quick=args.quick,
             repeat=args.repeat,
             scenarios=args.scenario,
+            slo=slo,
+            flight_dir=args.flight_dir,
             log=None if args.json else print,
         )
     except KeyError as exc:
         print(f"repro bench: {exc.args[0]}", file=sys.stderr)
         return 2
+    except Exception as exc:
+        from ..obs import SloSpecError
+
+        if isinstance(exc, SloSpecError):
+            print(f"repro bench: invalid SLO spec: {exc}", file=sys.stderr)
+            return 2
+        raise
 
     if args.json:
         print(json.dumps(doc, indent=2, sort_keys=True))

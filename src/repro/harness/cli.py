@@ -10,6 +10,8 @@ Usage::
     python -m repro stats --trace run.jsonl --chrome-trace run.chrome.json
     python -m repro stats --json --metrics-out metrics.json
     python -m repro stats --sanitize
+    python -m repro stats --telemetry-out run.telemetry.jsonl --slo examples/slo.json
+    python -m repro stats --openmetrics metrics.om --flight-dir flight/
     python -m repro faults --read-ber 0.02 --program-fail-rate 0.001
     python -m repro lint src/repro/ssd --select R001,R004 --json
     python -m repro bench --quick --baseline benchmarks/baseline.json
@@ -235,15 +237,47 @@ def _cmd_ablations(scale: Scale) -> str:
     return "\n\n".join(parts)
 
 
-def _cmd_stats(scale: Scale, args: argparse.Namespace, faults=None) -> str:
+#: tenant ids the ``stats``/``faults`` run actually has (see
+#: :func:`repro.harness.experiments.stats_run` — a fixed 4-workload mix)
+_STATS_TENANTS = range(4)
+
+
+def _cmd_stats(scale: Scale, args: argparse.Namespace, faults=None,
+               argv: list[str] | None = None) -> str:
     """Run one instrumented simulation and report/export its observability."""
-    from ..obs import Observability
+    from ..obs import Observability, SloSpec, SloSpecError
     from .experiments import stats_run
 
     interval_us = args.utilization_interval  # repro-lint: disable=R001 (--utilization-interval is documented as microseconds)
+    slo_spec = None
+    if args.slo:
+        try:
+            slo_spec = SloSpec.load(args.slo, known_tenants=_STATS_TENANTS)
+        except (OSError, SloSpecError) as exc:
+            raise SystemExit(f"repro stats: cannot load SLO spec: {exc}")
+    telemetry = args.telemetry_interval  # repro-lint: disable=R001 (--telemetry-interval is documented as microseconds)
+    if telemetry is None and (args.telemetry_out or args.openmetrics):
+        # an export was requested without an explicit interval: sample at
+        # the SLO window (when given) or the utilization interval
+        telemetry = slo_spec.window_us if slo_spec is not None else 500.0
+    flight = None
+    if args.flight_dir:
+        from ..obs import FlightRecorder
+
+        flight = FlightRecorder(
+            args.flight_dir,
+            context={"command": "faults" if faults is not None else "stats",
+                     "scale": scale.name},
+            replay_argv=(
+                ["python", "-m", "repro", *argv] if argv is not None else None
+            ),
+        )
     obs = Observability(
         utilization_interval_us=interval_us if interval_us > 0 else None,
         attribution=True,
+        telemetry=telemetry,
+        slo=slo_spec,
+        flight_recorder=flight,
     )
     sanitizer = None
     if args.sanitize:
@@ -265,8 +299,30 @@ def _cmd_stats(scale: Scale, args: argparse.Namespace, faults=None) -> str:
         with open(args.metrics_out, "w", encoding="utf-8") as fh:
             json.dump(obs.export(), fh, indent=2)
         notes.append(f"wrote metrics to {args.metrics_out}")
+    if args.telemetry_out:
+        windows = obs.telemetry.write_jsonl(args.telemetry_out)
+        notes.append(
+            f"wrote {windows} telemetry windows to {args.telemetry_out}"
+        )
+    if args.openmetrics:
+        with open(args.openmetrics, "w", encoding="utf-8") as fh:
+            fh.write(obs.registry.to_openmetrics())
+        notes.append(f"wrote OpenMetrics exposition to {args.openmetrics}")
+    if obs.slo is not None:
+        rollup = obs.slo.summary()
+        notes.append(
+            f"slo: {rollup['windows']} windows evaluated, "
+            f"{rollup['warn_alerts']} warn / {rollup['page_alerts']} page "
+            f"alerts"
+        )
+    if obs.flight_recorder is not None and obs.flight_recorder.bundles:
+        for bundle in obs.flight_recorder.bundles:
+            notes.append(f"flight-recorder bundle: {bundle}")
     if args.json:
-        body = json.dumps(obs.export(), indent=2)
+        payload = obs.export()
+        if result.alerts is not None:
+            payload["alerts"] = result.alerts
+        body = json.dumps(payload, indent=2)
     else:
         body = result.summary() + "\n\n" + format_metrics(obs.registry.snapshot())
         if result.breakdown is not None:
@@ -274,7 +330,8 @@ def _cmd_stats(scale: Scale, args: argparse.Namespace, faults=None) -> str:
     return "\n".join([*notes, "", body]) if notes else body
 
 
-def _cmd_faults(scale: Scale, args: argparse.Namespace) -> str:
+def _cmd_faults(scale: Scale, args: argparse.Namespace,
+                argv: list[str] | None = None) -> str:
     """The ``stats`` run with the seeded NAND fault model switched on."""
     from ..ssd.faults import FaultConfig
 
@@ -289,7 +346,7 @@ def _cmd_faults(scale: Scale, args: argparse.Namespace) -> str:
         )
     except ValueError as exc:
         raise SystemExit(f"repro faults: {exc}")
-    return _cmd_stats(scale, args, faults=faults)
+    return _cmd_stats(scale, args, faults=faults, argv=argv)
 
 
 _COMMANDS: dict[str, Callable[[Scale], str]] = {
@@ -367,6 +424,43 @@ def main(argv: list[str] | None = None) -> int:
         "microseconds (0 disables; default 500)",
     )
     obs_group.add_argument(
+        "--telemetry-out",
+        metavar="PATH",
+        default=None,
+        help="stream delta-encoded telemetry windows to PATH as "
+        "schema-versioned JSONL (enables telemetry sampling)",
+    )
+    obs_group.add_argument(
+        "--telemetry-interval",
+        metavar="US",
+        type=float,
+        default=None,
+        help="telemetry window length in simulated microseconds (default: "
+        "the SLO spec's window_us, else 500)",
+    )
+    obs_group.add_argument(
+        "--slo",
+        metavar="PATH",
+        default=None,
+        help="arm the SLO watchdog with a JSON spec (see examples/slo.json); "
+        "burn-rate alerts surface as slo.* counters, slo_alert trace "
+        "events, and an alerts section in --json output",
+    )
+    obs_group.add_argument(
+        "--openmetrics",
+        metavar="PATH",
+        default=None,
+        help="write the final registry as OpenMetrics text exposition",
+    )
+    obs_group.add_argument(
+        "--flight-dir",
+        metavar="DIR",
+        default=None,
+        help="arm the flight recorder: sanitizer traps, page-severity SLO "
+        "alerts and unrecoverable reads dump reproducible debug bundles "
+        "under DIR",
+    )
+    obs_group.add_argument(
         "--json",
         action="store_true",
         help="dump the metrics export as JSON to stdout instead of tables",
@@ -428,10 +522,13 @@ def main(argv: list[str] | None = None) -> int:
     args = parser.parse_args(argv)
     if args.utilization_interval < 0:
         parser.error("--utilization-interval must be >= 0 (0 disables)")
+    if args.telemetry_interval is not None and args.telemetry_interval <= 0:
+        parser.error("--telemetry-interval must be > 0")
     # Fail fast on unwritable export paths: the simulation itself can take
     # minutes at larger scales, so probe before running (append mode leaves
     # any existing export intact if a later step dies).
-    for path in (args.trace, args.chrome_trace, args.metrics_out):
+    for path in (args.trace, args.chrome_trace, args.metrics_out,
+                 args.telemetry_out, args.openmetrics):
         if path:
             try:
                 with open(path, "a"):
@@ -443,12 +540,12 @@ def main(argv: list[str] | None = None) -> int:
     names = list(_COMMANDS) if args.experiment == "all" else [args.experiment]
     if args.experiment == "stats":
         print(banner("stats"))
-        print(_cmd_stats(scale, args))
+        print(_cmd_stats(scale, args, argv=list(argv)))
         print()
         return 0
     if args.experiment == "faults":
         print(banner("faults"))
-        print(_cmd_faults(scale, args))
+        print(_cmd_faults(scale, args, argv=list(argv)))
         print()
         return 0
     for name in names:

@@ -107,6 +107,12 @@ def format_metrics(snapshot: dict, *, title: str | None = None) -> str:
         parts.append(
             format_table(["series", "points", "last"], rows, title="series")
         )
+    dropped = snapshot.get("counters", {}).get("obs.dropped_samples")
+    if dropped:
+        parts.append(
+            f"WARNING: {dropped} non-finite sample(s) were dropped "
+            f"(obs.dropped_samples) — some metric emitted NaN/inf"
+        )
     return "\n\n".join(parts) if parts else "(no metrics recorded)"
 
 

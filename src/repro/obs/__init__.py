@@ -41,12 +41,23 @@ from .attribution import (
     SubrequestSpan,
 )
 from .chrometrace import to_chrome_trace, write_chrome_trace
+from .flightrecorder import FLIGHT_SCHEMA_VERSION, FlightRecorder
 from .profiler import UtilizationProfiler
 from .registry import DEFAULT_LATENCY_BUCKETS_US, Counter, Gauge, Histogram, MetricsRegistry, Series
+from .slo import SloAlert, SloSpec, SloSpecError, SloWatchdog
+from .telemetry import TELEMETRY_SCHEMA_VERSION, TelemetrySink
 from .trace import EVENT_NAMES, NULL_RECORDER, NullRecorder, TraceEvent, TraceRecorder, match_pairs
 
 __all__ = [
     "Observability",
+    "TelemetrySink",
+    "TELEMETRY_SCHEMA_VERSION",
+    "SloSpec",
+    "SloSpecError",
+    "SloAlert",
+    "SloWatchdog",
+    "FlightRecorder",
+    "FLIGHT_SCHEMA_VERSION",
     "AttributionCollector",
     "AttributionError",
     "LatencyBreakdown",
@@ -96,6 +107,21 @@ class Observability:
         busy, GC stall, ECC retries, buffer hits — with exact-sum
         validation; or pass a pre-configured collector.  ``False`` (the
         default) costs nothing.
+    telemetry:
+        A sampling interval in simulated microseconds (or a
+        pre-configured :class:`TelemetrySink`): the simulator arms the
+        sink to emit delta-encoded windows over the registry on weak
+        loop events (never perturbing the run).  ``None`` (default)
+        costs nothing.
+    slo:
+        An :class:`SloSpec` (or pre-built :class:`SloWatchdog`): each
+        telemetry window is evaluated for burn-rate alerting.  Implies
+        telemetry — when no sink/interval is given, one is created with
+        the spec's ``window_us``.
+    flight_recorder:
+        An output directory path (or pre-built :class:`FlightRecorder`):
+        sanitizer traps, page-severity SLO alerts, and unrecoverable
+        reads dump reproducible debug bundles there.
     """
 
     def __init__(
@@ -107,6 +133,9 @@ class Observability:
         trace_sample_every: int = 1,
         utilization_interval_us: float | None = None,
         attribution: "bool | AttributionCollector" = False,
+        telemetry: "float | TelemetrySink | None" = None,
+        slo: "SloSpec | SloWatchdog | None" = None,
+        flight_recorder: "str | FlightRecorder | None" = None,
     ) -> None:
         self.registry = registry if registry is not None else MetricsRegistry()
         if isinstance(trace, (TraceRecorder, NullRecorder)):
@@ -131,6 +160,43 @@ class Observability:
             self.attribution = AttributionCollector(trace=self.trace)
         else:
             self.attribution = None
+        #: optional SLO watchdog fed by the telemetry sink
+        if isinstance(slo, SloWatchdog):
+            self.slo: SloWatchdog | None = slo
+        elif isinstance(slo, SloSpec):
+            self.slo = SloWatchdog(slo)
+        elif slo is None:
+            self.slo = None
+        else:
+            raise TypeError("slo must be an SloSpec or SloWatchdog")
+        #: optional windowed telemetry sink (armed by the simulator)
+        if isinstance(telemetry, TelemetrySink):
+            self.telemetry: TelemetrySink | None = telemetry
+        elif telemetry is not None:
+            self.telemetry = TelemetrySink(float(telemetry))
+        elif self.slo is not None:
+            # an SLO without an explicit sink still needs windows to
+            # evaluate: derive one from the spec's window length
+            self.telemetry = TelemetrySink(self.slo.spec.window_us)
+        else:
+            self.telemetry = None
+        if self.slo is not None:
+            self.telemetry.watchdog = self.slo
+        #: optional failure flight recorder
+        if isinstance(flight_recorder, FlightRecorder):
+            self.flight_recorder: FlightRecorder | None = flight_recorder
+        elif flight_recorder is not None:
+            self.flight_recorder = FlightRecorder(flight_recorder)
+        else:
+            self.flight_recorder = None
+        if self.flight_recorder is not None:
+            self.flight_recorder.obs = self
+        if self.slo is not None:
+            self.slo.bind(
+                registry=self.registry,
+                trace=self.trace if self.trace.enabled else None,
+                flight_recorder=self.flight_recorder,
+            )
 
     # ------------------------------------------------------------------
     def write_chrome_trace(self, path) -> int:
@@ -147,6 +213,18 @@ class Observability:
             out["keeper_decisions"] = [d.to_dict() for d in self.decisions]
         if self.attribution is not None:
             out["attribution"] = self.attribution.breakdown().to_dict()
+        if self.telemetry is not None:
+            out["telemetry"] = {
+                "schema_version": TELEMETRY_SCHEMA_VERSION,
+                "interval_us": self.telemetry.interval_us,
+                "windows": len(self.telemetry.windows),
+            }
+        if self.slo is not None:
+            out["slo"] = self.slo.summary()
+        if self.flight_recorder is not None and self.flight_recorder.bundles:
+            out["flight_bundles"] = [
+                str(p) for p in self.flight_recorder.bundles
+            ]
         faults = {
             name: value
             for section in ("counters", "gauges")

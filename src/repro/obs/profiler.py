@@ -72,7 +72,10 @@ class UtilizationProfiler:
         loop = self._loop
         now = loop.now
         self._record_window(now)
-        if loop:  # other events pending: keep sampling
+        # Re-arm only while *strong* events remain: weak events (telemetry
+        # ticks) must not keep the profiler alive, or the two samplers
+        # would sustain each other forever.
+        if loop.pending_strong:
             loop.schedule(now + self.interval_us, self._sample)
 
     def _record_window(self, now: float) -> None:

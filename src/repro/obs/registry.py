@@ -59,15 +59,23 @@ class Counter:
 
 
 class Gauge:
-    """Last-value metric."""
+    """Last-value metric.
 
-    __slots__ = ("name", "value")
+    Non-finite writes (NaN/inf) are dropped and tallied in
+    :attr:`dropped` instead of poisoning the stored value.
+    """
+
+    __slots__ = ("name", "value", "dropped")
 
     def __init__(self, name: str) -> None:
         self.name = name
         self.value = 0.0
+        self.dropped = 0
 
     def set(self, value: float) -> None:
+        if not math.isfinite(value):
+            self.dropped += 1
+            return
         self.value = value
 
     def snapshot(self):
@@ -83,9 +91,12 @@ class Histogram:
     to the observed maximum), so p50/p95/p99 are estimates whose error
     is bounded by the bucket width — plenty for latency reporting, and
     far cheaper than keeping raw samples.
+
+    Non-finite observations (NaN/inf) are dropped and tallied in
+    :attr:`dropped` instead of poisoning ``total``/``mean``/min/max.
     """
 
-    __slots__ = ("name", "bounds", "counts", "count", "total", "min", "max")
+    __slots__ = ("name", "bounds", "counts", "count", "total", "min", "max", "dropped")
 
     def __init__(
         self, name: str, buckets: Sequence[float] = DEFAULT_LATENCY_BUCKETS_US
@@ -99,9 +110,13 @@ class Histogram:
         self.count = 0
         self.total = 0.0
         self.min = math.inf
-        self.max = 0.0
+        self.max = -math.inf
+        self.dropped = 0
 
     def observe(self, value: float) -> None:
+        if not math.isfinite(value):
+            self.dropped += 1
+            return
         self.counts[bisect.bisect_left(self.bounds, value)] += 1
         self.count += 1
         self.total += value
@@ -136,7 +151,9 @@ class Histogram:
                 lo = self.bounds[i - 1] if i > 0 else max(0.0, self.min)
                 hi = self.bounds[i] if i < len(self.bounds) else self.max
                 lo = max(lo, self.min)
-                hi = min(hi, self.max) if self.max else hi
+                # clamp to the observed max unconditionally — 0.0 is a
+                # legitimate maximum (all-zero samples), not "unset"
+                hi = min(hi, self.max)
                 if hi <= lo:
                     return lo
                 frac = (rank - prev_cum) / n
@@ -160,7 +177,7 @@ class Histogram:
             "count": self.count,
             "mean": self.mean,
             "min": self.min if self.count else 0.0,
-            "max": self.max,
+            "max": self.max if self.count else 0.0,
             "p50": self.p50,
             "p95": self.p95,
             "p99": self.p99,
@@ -241,6 +258,14 @@ class MetricsRegistry:
         """Registered metric or None (read-side lookup, no creation)."""
         return self._metrics.get(name)
 
+    def dropped_samples(self) -> int:
+        """Total non-finite samples dropped across histograms and gauges."""
+        return sum(
+            metric.dropped
+            for metric in self._metrics.values()
+            if isinstance(metric, (Histogram, Gauge))
+        )
+
     def snapshot(self) -> dict:
         """Nested plain-data view: kind -> name -> value."""
         out: dict[str, dict] = {
@@ -259,7 +284,65 @@ class MetricsRegistry:
                 out["histograms"][name] = metric.snapshot()
             elif isinstance(metric, Series):
                 out["series"][name] = metric.snapshot()
+        dropped = self.dropped_samples()
+        if dropped:
+            out["counters"]["obs.dropped_samples"] = dropped
         return out
 
     def to_json(self, *, indent: int | None = None) -> str:
         return json.dumps(self.snapshot(), indent=indent)
+
+    def to_openmetrics(self) -> str:
+        """OpenMetrics text exposition of counters, gauges, and histograms.
+
+        Dotted names become underscore-separated; counters gain the
+        ``_total`` suffix; histograms are converted from per-bucket to
+        cumulative ``_bucket{le="..."}`` form with ``_sum`` and
+        ``_count``.  Series are omitted (no OpenMetrics equivalent).
+        The exposition ends with ``# EOF`` per the spec.
+        """
+        lines: list[str] = []
+        for name in self.names():
+            metric = self._metrics[name]
+            om = _om_name(name)
+            if isinstance(metric, Counter):
+                lines.append(f"# TYPE {om} counter")
+                lines.append(f"{om}_total {_om_value(metric.value)}")
+            elif isinstance(metric, Gauge):
+                lines.append(f"# TYPE {om} gauge")
+                lines.append(f"{om} {_om_value(metric.value)}")
+            elif isinstance(metric, Histogram):
+                lines.append(f"# TYPE {om} histogram")
+                cum = 0
+                for bound, n in zip(metric.bounds, metric.counts):
+                    cum += n
+                    lines.append(
+                        f'{om}_bucket{{le="{_om_value(bound)}"}} {cum}'
+                    )
+                cum += metric.counts[-1]
+                lines.append(f'{om}_bucket{{le="+Inf"}} {cum}')
+                lines.append(f"{om}_sum {_om_value(metric.total)}")
+                lines.append(f"{om}_count {metric.count}")
+        dropped = self.dropped_samples()
+        if dropped:
+            lines.append("# TYPE obs_dropped_samples counter")
+            lines.append(f"obs_dropped_samples_total {dropped}")
+        lines.append("# EOF")
+        return "\n".join(lines) + "\n"
+
+
+def _om_name(name: str) -> str:
+    """Sanitize a dotted metric name into an OpenMetrics identifier."""
+    cleaned = "".join(
+        ch if ch.isalnum() or ch == "_" else "_" for ch in name
+    )
+    if cleaned and cleaned[0].isdigit():
+        cleaned = "_" + cleaned
+    return cleaned
+
+
+def _om_value(value: float) -> str:
+    """Render a sample value: integral floats without the trailing .0."""
+    if isinstance(value, float) and value.is_integer():
+        return str(int(value))
+    return repr(value)

@@ -1,0 +1,190 @@
+"""Live windowed telemetry over the metrics registry.
+
+A :class:`TelemetrySink` samples the :class:`~repro.obs.registry.MetricsRegistry`
+on a fixed simulated-time interval and closes each interval into a
+**delta-encoded window**: counter increments, histogram bucket-count
+deltas, current gauge values, and per-resource busy/GC/wait time deltas.
+Windows stream to a schema-versioned JSONL file (one header record, one
+record per window) — exactly the in-run training input the generative
+storage-model line of work consumes, and the evaluation substrate for the
+SLO watchdog (:mod:`repro.obs.slo`).
+
+The sink schedules its ticks as **weak events**
+(:meth:`repro.ssd.engine.EventLoop.every`): they fire while real work is
+pending and are dropped once only samplers remain, so an armed sink never
+extends the run's makespan — a telemetry-on run is byte-identical to a
+telemetry-off run.  A final :meth:`flush` closes the partial tail window
+after the loop drains.
+"""
+
+from __future__ import annotations
+
+import json
+
+from .registry import Counter, Gauge, Histogram, MetricsRegistry
+
+__all__ = ["TelemetrySink", "TELEMETRY_SCHEMA_VERSION"]
+
+#: bump when the window record layout changes
+TELEMETRY_SCHEMA_VERSION = 1
+
+
+class TelemetrySink:
+    """Periodic delta-encoded registry sampler (weakly scheduled)."""
+
+    def __init__(self, interval_us: float, *, watchdog=None) -> None:
+        if interval_us <= 0:
+            raise ValueError("interval_us must be positive")
+        self.interval_us = interval_us
+        #: closed windows, oldest first (plain dicts, JSON-ready)
+        self.windows: list[dict] = []
+        #: optional :class:`repro.obs.slo.SloWatchdog`; fed every window
+        self.watchdog = watchdog
+        self._loop = None
+        self._registry: MetricsRegistry | None = None
+        self._channels = ()
+        self._dies = ()
+        self._last_ts_us = 0.0
+        self._last_events = 0
+        self._last_counters: dict[str, float] = {}
+        self._last_hist: dict[str, tuple[list[int], float, int]] = {}
+        self._last_res: dict[str, list[float]] = {}
+
+    # ------------------------------------------------------------------
+    def attach(self, loop, registry: MetricsRegistry, *,
+               channels=(), dies=()) -> None:
+        """Arm the sink on ``loop``: baseline now, then sample weakly.
+
+        Call after the run's initial events are scheduled.  Ticks are
+        weak (:meth:`EventLoop.every`), so the sink cannot keep the loop
+        alive or move ``now`` past the last real event.
+        """
+        self._loop = loop
+        self._registry = registry
+        self._channels = tuple(channels)
+        self._dies = tuple(dies)
+        self._last_ts_us = loop.now
+        self._last_events = loop.events_processed
+        self._rebaseline()
+        loop.every(self.interval_us, self._sample)
+
+    def _rebaseline(self) -> None:
+        registry = self._registry
+        self._last_counters = {}
+        self._last_hist = {}
+        for name in registry.names():
+            metric = registry.get(name)
+            if isinstance(metric, Counter):
+                self._last_counters[name] = metric.value
+            elif isinstance(metric, Histogram):
+                self._last_hist[name] = (
+                    list(metric.counts), metric.total, metric.count
+                )
+        self._last_res = {
+            "channel_busy_us": [c.busy_time_us for c in self._channels],
+            "die_busy_us": [d.busy_time_us for d in self._dies],
+            "gc_busy_us": [d.gc_busy_time_us for d in self._dies],
+            "channel_wait_us": [c.wait_time_us for c in self._channels],
+            "die_wait_us": [d.wait_time_us for d in self._dies],
+        }
+
+    def _sample(self) -> None:
+        self._record_window(self._loop.now)
+
+    def flush(self) -> None:
+        """Close the final partial window after the loop drained."""
+        if self._loop is not None:
+            self._record_window(self._loop.now)
+
+    # ------------------------------------------------------------------
+    def _record_window(self, now: float) -> None:
+        span = now - self._last_ts_us
+        if span <= 0:
+            return
+        registry = self._registry
+        counters: dict[str, float] = {}
+        histograms: dict[str, dict] = {}
+        for name in registry.names():
+            metric = registry.get(name)
+            if isinstance(metric, Counter):
+                delta = metric.value - self._last_counters.get(name, 0)
+                if delta:
+                    counters[name] = delta
+                self._last_counters[name] = metric.value
+            elif isinstance(metric, Histogram):
+                last_counts, last_total, last_count = self._last_hist.get(
+                    name, ([0] * len(metric.counts), 0.0, 0)
+                )
+                dcount = metric.count - last_count
+                if dcount:
+                    histograms[name] = {
+                        "count": dcount,
+                        "sum": metric.total - last_total,
+                        "bounds": list(metric.bounds),
+                        "buckets": [
+                            c - lc for c, lc in zip(metric.counts, last_counts)
+                        ],
+                    }
+                self._last_hist[name] = (
+                    list(metric.counts), metric.total, metric.count
+                )
+        gauges = {
+            name: registry.get(name).value
+            for name in registry.names()
+            if isinstance(registry.get(name), Gauge)
+        }
+        resources = {}
+        if self._channels or self._dies:
+            current = {
+                "channel_busy_us": [c.busy_time_us for c in self._channels],
+                "die_busy_us": [d.busy_time_us for d in self._dies],
+                "gc_busy_us": [d.gc_busy_time_us for d in self._dies],
+                "channel_wait_us": [c.wait_time_us for c in self._channels],
+                "die_wait_us": [d.wait_time_us for d in self._dies],
+            }
+            resources = {
+                key: [v - lv for v, lv in zip(vals, self._last_res[key])]
+                for key, vals in current.items()
+            }
+            self._last_res = current
+        events = self._loop.events_processed - self._last_events
+        self._last_events = self._loop.events_processed
+        window = {
+            "kind": "window",
+            "seq": len(self.windows),
+            "t_start_us": self._last_ts_us,
+            "t_end_us": now,
+            "events": events,
+            "counters": counters,
+            "gauges": gauges,
+            "histograms": histograms,
+            "resources": resources,
+        }
+        self._last_ts_us = now
+        self.windows.append(window)
+        if self.watchdog is not None:
+            self.watchdog.observe(window)
+
+    # ------------------------------------------------------------------
+    def header(self) -> dict:
+        """The stream's schema-versioned header record."""
+        return {
+            "kind": "header",
+            "schema_version": TELEMETRY_SCHEMA_VERSION,
+            "interval_us": self.interval_us,
+            "windows": len(self.windows),
+            "channels": len(self._channels),
+            "dies": len(self._dies),
+        }
+
+    def to_jsonl(self) -> str:
+        """Header line followed by one JSON line per window."""
+        lines = [json.dumps(self.header())]
+        lines.extend(json.dumps(w) for w in self.windows)
+        return "\n".join(lines) + "\n"
+
+    def write_jsonl(self, path) -> int:
+        """Write the stream to ``path``; returns the window count."""
+        with open(path, "w", encoding="utf-8") as fh:
+            fh.write(self.to_jsonl())
+        return len(self.windows)

@@ -49,6 +49,7 @@ EVENT_NAMES = (
     "gc_start",
     "gc_end",
     "keeper_switch",
+    "slo_alert",
 )
 
 

@@ -29,8 +29,9 @@ class EventLoop:
     """Minimal event loop: schedule callbacks at absolute times."""
 
     def __init__(self) -> None:
-        self._heap: list[tuple[float, int, Callable[[], None]]] = []
+        self._heap: list[tuple[float, int, Callable[[], None], bool]] = []
         self._seq = count()
+        self._weak_pending = 0
         self.now = 0.0
         self.events_processed = 0
         #: optional :class:`repro.analysis.Sanitizer`; when set, every event
@@ -52,15 +53,67 @@ class EventLoop:
             if self.now - when > self.TIME_EPSILON:
                 raise ValueError(f"cannot schedule in the past ({when} < {self.now})")
             when = self.now
-        heapq.heappush(self._heap, (when, next(self._seq), callback))
+        heapq.heappush(self._heap, (when, next(self._seq), callback, False))
+
+    def schedule_weak(self, when: float, callback: Callable[[], None]) -> None:
+        """Schedule a *weak* event: one that never keeps the loop alive.
+
+        Weak events dispatch normally while ordinary ("strong") work is
+        pending, but once the heap holds only weak events an unbounded
+        :meth:`run` drops them without dispatch — so periodic samplers
+        scheduled this way can never extend ``now`` past the last real
+        event and never perturb a run's makespan.  Bounded runs
+        (``run(until=...)``) dispatch weak events up to the horizon like
+        any other event.
+        """
+        if when < self.now:
+            if self.now - when > self.TIME_EPSILON:
+                raise ValueError(f"cannot schedule in the past ({when} < {self.now})")
+            when = self.now
+        heapq.heappush(self._heap, (when, next(self._seq), callback, True))
+        self._weak_pending += 1
+
+    def every(self, interval_us: float, fn: Callable[[], None]) -> None:
+        """Weakly invoke ``fn()`` every ``interval_us`` of simulated time.
+
+        The metronome re-arms only while strong work remains pending, so
+        two concurrent samplers cannot keep each other alive: the tick
+        chain dies with the last real event and any trailing weak tick is
+        dropped by :meth:`run`.
+        """
+        if interval_us <= 0:
+            raise ValueError("interval_us must be positive")
+
+        def tick() -> None:
+            fn()
+            if self.pending_strong:
+                self.schedule_weak(self.now + interval_us, tick)
+
+        self.schedule_weak(self.now + interval_us, tick)
+
+    @property
+    def pending_strong(self) -> int:
+        """Number of pending events that keep the loop alive."""
+        return len(self._heap) - self._weak_pending
 
     def run(self, until: float | None = None) -> None:
-        """Process events until the heap drains (or ``until`` is reached)."""
+        """Process events until the heap drains (or ``until`` is reached).
+
+        An unbounded run stops as soon as only weak events remain (see
+        :meth:`schedule_weak`): the trailing weak events are discarded
+        without dispatch, leaving ``now`` at the last strong event.
+        """
         while self._heap:
-            when, _, callback = self._heap[0]
+            if until is None and self._weak_pending == len(self._heap):
+                self._heap.clear()
+                self._weak_pending = 0
+                break
+            when, _, callback, weak = self._heap[0]
             if until is not None and when > until:
                 break
             heapq.heappop(self._heap)
+            if weak:
+                self._weak_pending -= 1
             if self.sanitizer is not None:
                 self.sanitizer.on_event(when, self.now)
             self.now = when

@@ -162,6 +162,10 @@ class SimulationResult:
     #: per-phase latency attribution summary, present only when the run was
     #: observed with ``Observability(attribution=True)``
     breakdown: "LatencyBreakdown | None" = None
+    #: SLO watchdog alerts (plain dicts, see :mod:`repro.obs.slo`), present
+    #: only when the run was observed with an armed watchdog; deliberately
+    #: excluded from :meth:`summary` so an SLO'd run stays byte-identical
+    alerts: "list[dict] | None" = None
 
     @property
     def total_latency_us(self) -> float:
@@ -232,6 +236,7 @@ def build_result(
     events: int = 0,
     extras: dict | None = None,
     breakdown: "LatencyBreakdown | None" = None,
+    alerts: "list[dict] | None" = None,
 ) -> SimulationResult:
     """Assemble a :class:`SimulationResult` from an accumulator."""
     per_workload = {
@@ -253,4 +258,5 @@ def build_result(
         events=events,
         extras=extras or {},
         breakdown=breakdown,
+        alerts=alerts,
     )

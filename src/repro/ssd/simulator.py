@@ -132,6 +132,18 @@ class SSDSimulator:
         self._attribution = obs.attribution if obs is not None else None
         if self._attribution is not None and sanitizer is not None:
             self._attribution.sanitizer = sanitizer
+        #: live registry handle — counters incremented as requests finish
+        #: so telemetry windows carry per-window deltas
+        self._registry = obs.registry if obs is not None else None
+        #: optional :class:`~repro.obs.telemetry.TelemetrySink` (armed in
+        #: :meth:`run` on weak loop events — never perturbs the run)
+        self._telemetry = obs.telemetry if obs is not None else None
+        #: lazily-created per-tenant latency histograms, telemetry only
+        self._tenant_hist = {} if self._telemetry is not None else None
+        #: optional :class:`~repro.obs.flightrecorder.FlightRecorder`
+        self._flightrec = obs.flight_recorder if obs is not None else None
+        if self._flightrec is not None and sanitizer is not None:
+            self._flightrec.sanitizer = sanitizer
         if obs is not None:
             if obs.trace.enabled:
                 self._trace = obs.trace
@@ -215,13 +227,32 @@ class SSDSimulator:
 
             obs.profiler = UtilizationProfiler(obs.utilization_interval_us)
             obs.profiler.attach(self.loop, self.channels, self.dies)
-        self.loop.run()
+        if self._telemetry is not None and ordered:
+            self._telemetry.attach(
+                self.loop, self._registry,
+                channels=self.channels, dies=self.dies,
+            )
+        try:
+            self.loop.run()
+        except Exception as exc:
+            if self._flightrec is not None:
+                trigger = (
+                    "sanitizer-invariant"
+                    if getattr(exc, "invariant", None) else "exception"
+                )
+                self._flightrec.dump_once(
+                    trigger, detail=str(exc), time_us=self.loop.now
+                )
+            raise
         if obs is not None and obs.profiler is not None:
             # flush the final partial window so the series covers the run
             obs.profiler.flush()
+        if self._telemetry is not None:
+            self._telemetry.flush()
         if self._inflight:  # pragma: no cover - engine invariant
             raise RuntimeError(f"{len(self._inflight)} requests never completed")
         attribution = self._attribution
+        watchdog = obs.slo if obs is not None else None
         result = build_result(
             self.acc,
             makespan_us=self.loop.now,
@@ -234,6 +265,10 @@ class SSDSimulator:
             channel_wait_us=sum(c.wait_time_us for c in self.channels),
             events=self.loop.events_processed,
             breakdown=attribution.breakdown() if attribution is not None else None,
+            alerts=(
+                [a.to_dict() for a in watchdog.alerts]
+                if watchdog is not None else None
+            ),
             extras={
                 "seeded_pages": self.controller.seeded_pages,
                 "mapped_pages": self.controller.mapped_pages(),
@@ -543,14 +578,36 @@ class SSDSimulator:
                 # Unrecoverable read: the request surfaces as failed, and its
                 # latency is excluded from the success statistics.
                 self.failed_reads += 1
+                if self._registry is not None:
+                    self._registry.counter("sim.failed_reads").inc()
+                if self._flightrec is not None:
+                    self._flightrec.dump_once(
+                        "unrecoverable-read",
+                        detail=(
+                            f"wid={req.workload_id} lpn={req.lpn} "
+                            f"len={req.length}"
+                        ),
+                        time_us=self.loop.now,
+                    )
             else:
                 self.acc.add(req.workload_id, req.op, req.latency_us)
                 if self._hist is not None:
                     self._hist[req.op].observe(req.latency_us)
+                if self._tenant_hist is not None:
+                    hist = self._tenant_hist.get((req.workload_id, req.op))
+                    if hist is None:
+                        kind = "read" if req.op is OpType.READ else "write"
+                        hist = self._registry.histogram(
+                            f"sim.tenant.{req.workload_id}.{kind}_latency_us"
+                        )
+                        self._tenant_hist[(req.workload_id, req.op)] = hist
+                    hist.observe(req.latency_us)
                 if self._attribution is not None and flight.span is not None:
                     self._attribution.record(req, flight.span)
             del self._inflight[key]
             self.requests_done += 1
+            if self._registry is not None:
+                self._registry.counter("sim.requests").inc()
 
 
 def simulate(

@@ -107,7 +107,7 @@ class TestEventTimeMonotonicity:
         assert loop.now == 10.0
         # bypass schedule()'s guard: push a past-time event straight into
         # the heap, the way a corrupted component would
-        heapq.heappush(loop._heap, (5.0, 0, lambda: None))
+        heapq.heappush(loop._heap, (5.0, 0, lambda: None, False))
         with pytest.raises(SanitizerError) as exc:
             loop.run()
         assert exc.value.invariant == "event-time-monotonicity"

@@ -269,3 +269,53 @@ class TestCommittedBaseline:
         assert doc["schema_version"] == SCHEMA_VERSION
         assert doc["quick"] is True
         assert set(doc["scenarios"]) == set(SCENARIOS)
+
+
+class TestSloArming:
+    TIGHT_SPEC = {
+        "window_us": 500.0,
+        "tenants": {"0": {"write_p95_us": 200.0}},
+        "gc_stall_fraction": 0.05,
+        "burn": {
+            "fast": {"windows": 2, "warn_burn": 1.5, "page_burn": 3.0},
+            "slow": {"windows": 6, "warn_burn": 1.0, "page_burn": 2.0},
+        },
+    }
+
+    def test_tight_slo_pages_and_dumps_bundle(self, tmp_path):
+        entry = run_scenario("gc_heavy", quick=True, slo=self.TIGHT_SPEC,
+                             flight_dir=tmp_path)
+        slo = entry["slo"]
+        assert slo["windows"] > 0
+        assert slo["page_alerts"] >= 1
+        assert len(slo["bundles"]) == 1
+        manifest = json.loads(
+            (tmp_path / "gc_heavy" / "bundle-00-slo-page" /
+             "manifest.json").read_text()
+        )
+        assert manifest["trigger"] == "slo-page"
+        assert manifest["replay"]["command"] == (
+            "python -m repro bench --scenario gc_heavy --quick"
+        )
+        assert manifest["context"]["scenario"] == "gc_heavy"
+
+    def test_fastmodel_ignores_slo(self):
+        entry = run_scenario("fastmodel", quick=True, slo=self.TIGHT_SPEC)
+        assert "slo" not in entry
+
+    def test_metrics_unchanged_by_slo_arming(self):
+        plain = run_scenario("gc_heavy", quick=True)
+        armed = run_scenario("gc_heavy", quick=True, slo=self.TIGHT_SPEC)
+        sim_keys = [k for k in plain["metrics"] if k.startswith("sim_")]
+        assert sim_keys
+        for key in sim_keys:
+            assert armed["metrics"][key] == plain["metrics"][key]
+
+    def test_unknown_tenant_rejected_against_scenario(self):
+        from repro.obs import SloSpecError
+
+        with pytest.raises(SloSpecError):
+            run_scenario("mix2_shared", quick=True, slo={
+                "window_us": 500.0,
+                "tenants": {"9": {"read_p95_us": 1000.0}},
+            })

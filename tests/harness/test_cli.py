@@ -72,3 +72,62 @@ class TestCli:
     def test_unknown_scale_rejected(self):
         with pytest.raises(SystemExit):
             main(["info", "--scale", "galactic"])
+
+
+class TestTelemetryAndSlo:
+    def test_stats_writes_telemetry_and_openmetrics(self, capsys, tmp_path):
+        import json
+
+        jsonl = tmp_path / "run.jsonl"
+        om = tmp_path / "metrics.om"
+        assert main([
+            "stats", "--scale", "smoke",
+            "--telemetry-out", str(jsonl),
+            "--openmetrics", str(om),
+            "--utilization-interval", "0",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "telemetry" in out
+        lines = jsonl.read_text().strip().splitlines()
+        header = json.loads(lines[0])
+        assert header["kind"] == "header"
+        assert header["windows"] == len(lines) - 1 > 0
+        exposition = om.read_text()
+        assert exposition.endswith("# EOF\n")
+        assert "sim_requests_total" in exposition
+
+    def test_stats_with_slo_reports_alert_rollup(self, capsys):
+        import json
+        from pathlib import Path
+
+        spec = Path(__file__).resolve().parents[2] / "examples" / "slo.json"
+        assert main([
+            "stats", "--scale", "smoke", "--json",
+            "--slo", str(spec),
+            "--utilization-interval", "0",
+        ]) == 0
+        out = capsys.readouterr().out
+        doc = json.loads(out[out.index("{"):])
+        assert doc["alerts"] == []  # the committed spec holds on seeded runs
+        assert doc["slo"]["windows"] > 0
+        assert doc["slo"]["page_alerts"] == 0
+
+    def test_invalid_slo_spec_rejected(self, tmp_path):
+        bad = tmp_path / "bad.json"
+        bad.write_text('{"window_us": -1}')
+        with pytest.raises(SystemExit):
+            main(["stats", "--scale", "smoke", "--slo", str(bad)])
+
+    def test_unknown_tenant_in_spec_rejected(self, tmp_path):
+        bad = tmp_path / "bad.json"
+        bad.write_text(
+            '{"window_us": 500.0, "tenants": {"9": {"read_p95_us": 1000.0}}}'
+        )
+        with pytest.raises(SystemExit):
+            main(["stats", "--scale", "smoke", "--slo", str(bad)])
+
+    def test_non_positive_telemetry_interval_rejected(self, tmp_path):
+        with pytest.raises(SystemExit):
+            main(["stats", "--scale", "smoke",
+                  "--telemetry-out", str(tmp_path / "t.jsonl"),
+                  "--telemetry-interval", "0"])

@@ -132,3 +132,144 @@ class TestMetricsRegistry:
         reg.counter("c").inc()
         doc = json.loads(reg.to_json())
         assert doc["counters"]["c"] == 1
+
+
+class TestAllZeroPercentile:
+    def test_all_zero_samples_report_zero_percentiles(self):
+        # regression: `if self.max` treated a legitimate max of 0.0 as
+        # "unset", so p50 of all-zero samples interpolated up to ~2.5us
+        h = Histogram("lat")
+        h.observe_many([0.0] * 100)
+        assert h.p50 == 0.0
+        assert h.p95 == 0.0
+        assert h.p99 == 0.0
+        snap = h.snapshot()
+        assert snap["min"] == 0.0 and snap["max"] == 0.0
+
+    def test_empty_histogram_snapshot_extremes_are_zero(self):
+        snap = Histogram("lat").snapshot()
+        assert snap["min"] == 0.0
+        assert snap["max"] == 0.0
+
+
+class TestNonFiniteGuards:
+    def test_histogram_drops_nan_and_inf(self):
+        h = Histogram("lat")
+        h.observe(5.0)
+        h.observe(float("nan"))
+        h.observe(float("inf"))
+        h.observe(float("-inf"))
+        assert h.count == 1
+        assert h.dropped == 3
+        assert h.mean == 5.0
+        assert h.min == 5.0 and h.max == 5.0
+
+    def test_observe_many_drops_only_the_poisoned_samples(self):
+        h = Histogram("lat")
+        h.observe_many([1.0, float("nan"), 3.0])
+        assert h.count == 2
+        assert h.dropped == 1
+        assert h.total == 4.0
+
+    def test_gauge_drops_non_finite_writes(self):
+        g = Gauge("x")
+        g.set(2.0)
+        g.set(float("nan"))
+        g.set(float("inf"))
+        assert g.value == 2.0
+        assert g.dropped == 2
+
+    def test_registry_surfaces_dropped_samples_counter(self):
+        reg = MetricsRegistry()
+        reg.histogram("lat").observe(float("nan"))
+        reg.gauge("g").set(float("inf"))
+        assert reg.dropped_samples() == 2
+        snap = reg.snapshot()
+        assert snap["counters"]["obs.dropped_samples"] == 2
+
+    def test_clean_registry_has_no_dropped_counter(self):
+        reg = MetricsRegistry()
+        reg.histogram("lat").observe(1.0)
+        assert "obs.dropped_samples" not in reg.snapshot()["counters"]
+
+
+class TestPercentileGolden:
+    """Bucket-interpolated percentiles vs exact numpy on a seeded
+    realistic latency distribution: error bounded by one bucket width."""
+
+    def _bucket_width(self, value):
+        import bisect
+
+        bounds = list(DEFAULT_LATENCY_BUCKETS_US)
+        i = bisect.bisect_left(bounds, value)
+        if i == 0:
+            return bounds[0]
+        if i >= len(bounds):
+            return bounds[-1] - bounds[-2]
+        return bounds[i] - bounds[i - 1]
+
+    def test_realistic_latency_distribution(self):
+        import numpy as np
+
+        rng = np.random.RandomState(42)
+        # lognormal body (~100us median) plus a GC-stalled tail
+        samples = np.concatenate([
+            rng.lognormal(mean=np.log(100.0), sigma=0.8, size=4000),
+            rng.lognormal(mean=np.log(5000.0), sigma=0.5, size=200),
+        ])
+        h = Histogram("lat")
+        h.observe_many(samples.tolist())
+        for q in (50, 95, 99):
+            exact = float(np.percentile(samples, q))
+            est = h.percentile(q)
+            assert abs(est - exact) <= self._bucket_width(exact), (
+                f"p{q}: est {est:.1f} vs exact {exact:.1f}"
+            )
+
+    def test_single_sample(self):
+        h = Histogram("lat")
+        h.observe(123.0)
+        for q in (0, 50, 95, 99, 100):
+            assert h.percentile(q) == 123.0
+
+    def test_all_samples_in_open_inf_bucket(self):
+        h = Histogram("lat", buckets=[10.0])
+        h.observe_many([50.0, 60.0, 70.0])
+        # the open bucket interpolates between the last bound (clamped to
+        # min) and the observed max — estimates stay within [min, max]
+        for q in (50, 95, 99):
+            assert 50.0 <= h.percentile(q) <= 70.0
+        assert h.percentile(100) == 70.0
+
+
+class TestOpenMetrics:
+    def test_exposition_covers_all_kinds_and_parses(self):
+        import re
+
+        reg = MetricsRegistry()
+        reg.counter("sim.requests").inc(7)
+        reg.gauge("sim.makespan_us").set(12.5)
+        h = reg.histogram("sim.read_latency_us", buckets=[10.0, 100.0])
+        h.observe_many([5.0, 50.0, 500.0])
+        reg.series("util.ch0").append(1.0, 0.5)  # series are omitted
+        text = reg.to_openmetrics()
+        assert text.endswith("# EOF\n")
+        assert "sim_requests_total 7" in text
+        assert "sim_makespan_us 12.5" in text
+        # cumulative buckets: 1 <= 10, 2 <= 100, 3 <= +Inf
+        assert 'sim_read_latency_us_bucket{le="10"} 1' in text
+        assert 'sim_read_latency_us_bucket{le="100"} 2' in text
+        assert 'sim_read_latency_us_bucket{le="+Inf"} 3' in text
+        assert "sim_read_latency_us_count 3" in text
+        assert "util_ch0" not in text
+        line_re = re.compile(
+            r'^(# (TYPE|EOF).*|[a-zA-Z_][a-zA-Z0-9_]*'
+            r'(\{le="[^"]+"\})? [-+0-9.eE]+(e[-+]?\d+)?)$'
+        )
+        for line in text.strip().splitlines():
+            assert line_re.match(line), f"unparseable line: {line!r}"
+
+    def test_dropped_samples_appear_in_exposition(self):
+        reg = MetricsRegistry()
+        reg.histogram("lat").observe(float("nan"))
+        assert "obs_dropped_samples_total 1" in reg.to_openmetrics()

@@ -181,3 +181,93 @@ class TestResource:
         loop.run()
         assert depths == [2]
         assert res.queue_depth == 0
+
+
+class TestWeakEvents:
+    def test_weak_events_fire_while_strong_work_pending(self):
+        loop = EventLoop()
+        seen = []
+        loop.schedule_weak(1.0, lambda: seen.append("weak"))
+        loop.schedule(2.0, lambda: seen.append("strong"))
+        loop.run()
+        assert seen == ["weak", "strong"]
+
+    def test_trailing_weak_events_are_dropped(self):
+        loop = EventLoop()
+        seen = []
+        loop.schedule(1.0, lambda: seen.append("strong"))
+        loop.schedule_weak(5.0, lambda: seen.append("weak"))
+        loop.run()
+        assert seen == ["strong"]
+        assert loop.now == 1.0  # weak tail never advanced the clock
+        assert not loop
+
+    def test_weak_only_heap_runs_nothing(self):
+        loop = EventLoop()
+        seen = []
+        loop.schedule_weak(1.0, lambda: seen.append("weak"))
+        loop.run()
+        assert seen == []
+        assert loop.now == 0.0
+
+    def test_bounded_run_dispatches_weak_events(self):
+        # run(until=...) is an explicit horizon: weak events inside it
+        # fire like any other (samplers must tick across run segments)
+        loop = EventLoop()
+        seen = []
+        loop.schedule_weak(1.0, lambda: seen.append("weak"))
+        loop.run(until=2.0)
+        assert seen == ["weak"]
+        assert loop.now == 1.0
+
+    def test_pending_strong_excludes_weak(self):
+        loop = EventLoop()
+        loop.schedule_weak(1.0, lambda: None)
+        loop.schedule(2.0, lambda: None)
+        assert len(loop._heap) == 2
+        assert loop.pending_strong == 1
+        loop.run()
+        assert loop.pending_strong == 0
+
+    def test_weak_past_time_rejected_like_strong(self):
+        loop = EventLoop()
+        loop.schedule(10.0, lambda: None)
+        loop.run()
+        with pytest.raises(ValueError):
+            loop.schedule_weak(5.0, lambda: None)
+
+
+class TestEvery:
+    def test_metronome_ticks_while_strong_work_remains(self):
+        loop = EventLoop()
+        ticks = []
+        loop.schedule(10.0, lambda: None)
+        loop.every(3.0, lambda: ticks.append(loop.now))
+        loop.run()
+        assert ticks == [3.0, 6.0, 9.0]
+        assert loop.now == 10.0
+
+    def test_metronome_never_outlives_the_last_strong_event(self):
+        loop = EventLoop()
+        ticks = []
+        loop.schedule(2.0, lambda: None)
+        loop.every(5.0, lambda: ticks.append(loop.now))
+        loop.run()
+        assert ticks == []  # first tick at 5.0 would be past the run
+        assert loop.now == 2.0
+
+    def test_two_metronomes_cannot_keep_each_other_alive(self):
+        loop = EventLoop()
+        a, b = [], []
+        loop.schedule(7.0, lambda: None)
+        loop.every(2.0, lambda: a.append(loop.now))
+        loop.every(3.0, lambda: b.append(loop.now))
+        loop.run()
+        assert loop.now == 7.0
+        assert a == [2.0, 4.0, 6.0]
+        assert b == [3.0, 6.0]
+
+    def test_rejects_non_positive_interval(self):
+        loop = EventLoop()
+        with pytest.raises(ValueError):
+            loop.every(0.0, lambda: None)
