@@ -93,7 +93,14 @@ class OptInPurityRule(Rule):
         "obs.*/faults.*/sanitizer.* access in repro.ssd/repro.core must be "
         "dominated by a None-guard (opt-in hot-path contract)"
     )
-    applies_to = ("repro.ssd", "repro.core")
+    applies_to = (
+        "repro.ssd",
+        "repro.core",
+        # the explainer layer consumes sanitizer/attribution handles and
+        # must honour the same opt-in contract it observes
+        "repro.obs.critpath",
+        "repro.obs.whatif",
+    )
 
     def check(self, module) -> Iterator:
         for func in ast.walk(module.tree):

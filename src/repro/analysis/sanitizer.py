@@ -48,7 +48,7 @@ class SanitizerError(RuntimeError):
     ``invariant`` is the stable machine-readable name
     (``event-time-monotonicity``, ``resource-mutual-exclusion``,
     ``mapping-bijectivity``, ``capacity-conservation``,
-    ``attribution-exact-sum``).
+    ``attribution-exact-sum``, ``critpath-exact-sum``).
     """
 
     def __init__(self, invariant: str, detail: str, trace: list[str]) -> None:
@@ -73,6 +73,7 @@ class Sanitizer:
         "mapping_ops",
         "conservation_checks",
         "attribution_checks",
+        "critpath_checks",
     )
 
     def __init__(self, *, history: int = 32) -> None:
@@ -86,6 +87,7 @@ class Sanitizer:
         self.mapping_ops = 0
         self.conservation_checks = 0
         self.attribution_checks = 0
+        self.critpath_checks = 0
 
     # ------------------------------------------------------------------
     def _record(self, entry: str) -> None:
@@ -97,10 +99,10 @@ class Sanitizer:
     def stats(self) -> dict[str, int]:
         """Counters proving the sanitizer actually ran its checks.
 
-        ``attribution_checks`` appears only when latency attribution was
-        enabled for the run — an unattributed run legitimately performs
-        zero of them, and consumers assert every reported counter is
-        positive.
+        ``attribution_checks`` / ``critpath_checks`` appear only when
+        latency attribution (resp. critical-path extraction) was enabled
+        for the run — an unattributed run legitimately performs zero of
+        them, and consumers assert every reported counter is positive.
         """
         out = {
             "events_checked": self.events_checked,
@@ -110,6 +112,8 @@ class Sanitizer:
         }
         if self.attribution_checks:
             out["attribution_checks"] = self.attribution_checks
+        if self.critpath_checks:
+            out["critpath_checks"] = self.critpath_checks
         return out
 
     def recent_events(self) -> list[str]:
@@ -182,6 +186,25 @@ class Sanitizer:
                 f"{latency_us!r}us (gap {gap_us:g}, tolerance {tolerance_us:g})",
             )
         self._record(f"attribution w{workload_id} {op} {latency_us:.3f}us")
+
+    def on_critpath(
+        self,
+        covered_us: float,
+        makespan_us: float,
+        tolerance_us: float,
+    ) -> None:
+        """Called per bottleneck report: the per-resource critical-path
+        times must reproduce the run makespan."""
+        self.critpath_checks += 1
+        gap_us = covered_us - makespan_us
+        if gap_us > tolerance_us or gap_us < -tolerance_us:
+            self._fail(
+                "critpath-exact-sum",
+                f"critical-path segments sum to {covered_us!r}us but the "
+                f"run makespan is {makespan_us!r}us (gap {gap_us:g}, "
+                f"tolerance {tolerance_us:g})",
+            )
+        self._record(f"critpath {covered_us:.3f}us over {makespan_us:.3f}us")
 
     # ------------------------------------------------------------------
     # Mapping table

@@ -22,6 +22,9 @@ committed baseline and exits nonzero when any metric regresses past the
 threshold, which is the CI tripwire.  ``--quick`` shrinks the traces
 for smoke runs (quick and full results are never comparable — request
 counts differ — so the comparison refuses mismatched files).
+``--update-baseline`` writes the current run to the baseline path
+(default ``benchmarks/baseline.json``) instead of comparing, so a
+deliberate perf change refreshes the tripwire in one command.
 """
 
 from __future__ import annotations
@@ -257,13 +260,17 @@ def run_scenario(
                 from ..obs import FlightRecorder
 
                 replay = ["python", "-m", "repro", "bench", "--scenario", name]
+                explain = ["python", "-m", "repro", "explain",
+                           "--scenario", name]
                 if quick:
                     replay.append("--quick")
+                    explain.append("--quick")
                 recorder = FlightRecorder(
                     Path(flight_dir) / name,
                     context={"scenario": name, "quick": quick,
                              "requests": len(requests)},
                     replay_argv=replay,
+                    explain_argv=explain,
                 )
             obs = Observability(
                 trace=False, attribution=attribution, slo=slo_spec,
@@ -503,6 +510,12 @@ def main(argv: list[str] | None = None) -> int:
         help="allowed regression per metric in percent (default 30)",
     )
     parser.add_argument(
+        "--update-baseline",
+        action="store_true",
+        help="write this run to the --baseline path (default "
+        "benchmarks/baseline.json) instead of comparing against it",
+    )
+    parser.add_argument(
         "--slo",
         metavar="FILE",
         default=None,
@@ -535,9 +548,12 @@ def main(argv: list[str] | None = None) -> int:
             return 2
 
     baseline = None
-    if args.baseline is not None:
+    baseline_path = args.baseline
+    if args.update_baseline and baseline_path is None:
+        baseline_path = "benchmarks/baseline.json"
+    if baseline_path is not None and not args.update_baseline:
         try:
-            with open(args.baseline, encoding="utf-8") as fh:
+            with open(baseline_path, encoding="utf-8") as fh:
                 baseline = json.load(fh)
         except (OSError, json.JSONDecodeError) as exc:
             print(f"repro bench: cannot read baseline: {exc}", file=sys.stderr)
@@ -568,6 +584,16 @@ def main(argv: list[str] | None = None) -> int:
     if not args.no_write:
         path = write_bench(doc, args.out)
         print(f"wrote {path}")
+
+    if args.update_baseline:
+        target = Path(baseline_path)
+        if target.parent != Path(""):
+            target.parent.mkdir(parents=True, exist_ok=True)
+        with open(target, "w", encoding="utf-8") as fh:
+            json.dump(doc, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"updated baseline {target}")
+        return 0
 
     if baseline is not None:
         try:

@@ -15,6 +15,8 @@ Usage::
     python -m repro faults --read-ber 0.02 --program-fail-rate 0.001
     python -m repro lint src/repro/ssd --select R001,R004 --json
     python -m repro bench --quick --baseline benchmarks/baseline.json
+    python -m repro explain --scenario gc_heavy --sanitize
+    python -m repro profile --scenario gc_heavy --top 25
 
 Each experiment prints its regenerated table; expensive artifacts are
 cached under ``.repro-cache`` exactly as in the benches.  ``stats`` runs
@@ -31,6 +33,10 @@ pass).  ``lint`` runs the repro domain lints (R001-R004) and forwards its
 arguments to ``python -m repro.analysis``.  ``bench`` runs the fixed
 benchmark suite (:mod:`repro.harness.bench`) and, with ``--baseline``,
 exits nonzero when a metric regresses past ``--max-regression``.
+``explain`` reconstructs the run-level critical path of a seeded bench
+scenario and sweeps exact counterfactuals (:mod:`repro.harness.explain`);
+``profile`` cProfiles a scenario's host hot paths
+(:mod:`repro.harness.hostprofile`).
 """
 
 from __future__ import annotations
@@ -377,6 +383,14 @@ def main(argv: list[str] | None = None) -> int:
         from .bench import main as bench_main
 
         return bench_main(argv[1:])
+    if argv and argv[0] == "explain":
+        from .explain import main as explain_main
+
+        return explain_main(argv[1:])
+    if argv and argv[0] == "profile":
+        from .hostprofile import main as profile_main
+
+        return profile_main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Regenerate SSDKeeper paper tables and figures.",
@@ -388,7 +402,9 @@ def main(argv: list[str] | None = None) -> int:
         "'stats' runs one instrumented simulation and reports its metrics; "
         "'faults' is the same run under the seeded NAND fault model; "
         "'repro lint [paths]' runs the domain lints R001-R004; "
-        "'repro bench' runs the benchmark suite with regression tracking)",
+        "'repro bench' runs the benchmark suite with regression tracking; "
+        "'repro explain' reconstructs a scenario's critical path and sweeps "
+        "exact counterfactuals; 'repro profile' cProfiles its host hot paths)",
     )
     parser.add_argument(
         "--scale",

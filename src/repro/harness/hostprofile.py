@@ -1,0 +1,269 @@
+"""``repro profile`` — host-side hot-path profiling of the simulator.
+
+The ROADMAP's "raw speed: vectorized core" item needs a target list:
+which *host* functions burn the wall-clock when the event-driven
+simulator runs?  This module wraps :mod:`cProfile`/:mod:`pstats` around
+one seeded bench scenario (the simulate call only — trace synthesis and
+report assembly are excluded) and emits a schema-versioned hot-function
+report:
+
+* ``top_by_tottime`` — functions by own time (the vectorization
+  candidates);
+* ``top_by_cumtime`` — functions by inclusive time (the call-tree
+  shape);
+* optional **collapsed stacks** (``--collapsed``) — ``caller;callee``
+  two-frame lines weighted by microseconds, directly feedable to
+  ``flamegraph.pl`` / speedscope (cProfile keeps caller edges, not full
+  stacks, so two frames is the honest depth).
+
+``benchmarks/hotpath_baseline.json`` pins the report for the default
+scenario so the upcoming vectorization PR can diff against it.  Host
+wall-clock is machine-dependent: compare *shares and ranks*, not
+absolute seconds.  Simulated metrics are unaffected by profiling — the
+profiler observes the interpreter, not the event loop.
+"""
+
+from __future__ import annotations
+
+import argparse
+import cProfile
+import json
+import pstats
+import sys
+import time
+from pathlib import Path
+
+__all__ = [
+    "HOTPATH_SCHEMA_VERSION",
+    "profile_scenario",
+    "collapsed_stacks",
+    "main",
+]
+
+#: Bump when the document layout changes shape.
+HOTPATH_SCHEMA_VERSION = 1
+
+#: path prefixes stripped from file names in reports, longest first
+_REPO_ROOT = Path(__file__).resolve().parents[3]
+
+
+def _relpath(filename: str) -> str:
+    """Repo-relative source path (keeps reports machine-independent)."""
+    if filename.startswith("<") or filename.startswith("~"):
+        return filename  # builtins: '<built-in>', '~' pstats marker
+    try:
+        return Path(filename).resolve().relative_to(_REPO_ROOT).as_posix()
+    except ValueError:
+        # stdlib / site-packages: keep only the file name, the absolute
+        # prefix is host noise
+        return Path(filename).name
+
+
+def _func_name(key: tuple) -> str:
+    filename, _line, name = key
+    if filename.startswith("<") or filename == "~":
+        return name
+    return f"{Path(filename).stem}.{name}"
+
+
+def _entries(stats: pstats.Stats, *, key: str, top: int) -> list[dict]:
+    rows = []
+    for func, (_cc, ncalls, tottime_s, cumtime_s, _callers) in stats.stats.items():  # type: ignore[attr-defined]
+        filename, line, name = func
+        rows.append(
+            {
+                "function": _func_name(func),
+                "file": _relpath(filename),
+                "line": line,
+                "name": name,
+                "ncalls": ncalls,
+                "tottime_s": tottime_s,
+                "cumtime_s": cumtime_s,
+            }
+        )
+    rows.sort(key=lambda row: (-row[key], row["file"], row["line"]))
+    return rows[:top]
+
+
+def collapsed_stacks(stats: pstats.Stats) -> list[str]:
+    """Two-frame ``caller;callee weight`` lines for flamegraph tooling.
+
+    The weight is the callee's own time attributed to that caller edge,
+    in integer microseconds (flamegraph collapsers want integral sample
+    counts).  Functions with no recorded caller appear as single frames.
+    """
+    lines: list[str] = []
+    for func, (_cc, _nc, tottime_s, _ct, callers) in stats.stats.items():  # type: ignore[attr-defined]
+        callee = _func_name(func)
+        if not callers:
+            weight = int(tottime_s * 1e6)
+            if weight > 0:
+                lines.append(f"{callee} {weight}")
+            continue
+        for caller, caller_stats in callers.items():
+            # per-edge tuple: (cc, nc, tottime, cumtime) attributed to
+            # calls arriving via this caller
+            edge_tottime_s = caller_stats[2]
+            weight = int(edge_tottime_s * 1e6)
+            if weight > 0:
+                lines.append(f"{_func_name(caller)};{callee} {weight}")
+    lines.sort()
+    return lines
+
+
+def profile_scenario(
+    name: str, *, quick: bool = False, top: int = 25
+) -> tuple[dict, pstats.Stats]:
+    """Profile one bench scenario; returns ``(report, pstats.Stats)``.
+
+    Only the simulation call runs under the profiler; building the
+    seeded trace does not pollute the report.  Raises ``KeyError`` for
+    an unknown scenario.
+    """
+    from .bench import _FULL_REQUESTS, _QUICK_REQUESTS, SCENARIOS
+
+    builder = SCENARIOS[name]
+    total = _QUICK_REQUESTS if quick else _FULL_REQUESTS
+    kind, requests, cfg, sets, faults = builder(total)
+
+    profiler = cProfile.Profile()
+    t0_s = time.perf_counter()
+    if kind == "fastmodel":
+        from ..ssd.fastmodel import fast_simulate
+
+        profiler.enable()
+        result = fast_simulate(requests, cfg, sets)
+        profiler.disable()
+    else:
+        from ..ssd.simulator import simulate
+
+        profiler.enable()
+        result = simulate(requests, cfg, sets, faults=faults)
+        profiler.disable()
+    wall_s = time.perf_counter() - t0_s
+
+    stats = pstats.Stats(profiler)
+    report = {
+        "schema_version": HOTPATH_SCHEMA_VERSION,
+        "scenario": name,
+        "kind": kind,
+        "quick": quick,
+        "requests": len(requests),
+        "wall_s": wall_s,
+        "sim_makespan_us": result.makespan_us,
+        "total_calls": stats.total_calls,  # type: ignore[attr-defined]
+        "total_tottime_s": stats.total_tt,  # type: ignore[attr-defined]
+        "top_by_tottime": _entries(stats, key="tottime_s", top=top),
+        "top_by_cumtime": _entries(stats, key="cumtime_s", top=top),
+    }
+    return report, stats
+
+
+def _render(report: dict) -> str:
+    lines = [
+        f"{report['scenario']} ({report['requests']} requests): "
+        f"{report['wall_s']:.3f}s wall, {report['total_calls']} calls"
+    ]
+    lines.append("top functions by own time:")
+    for row in report["top_by_tottime"]:
+        share = (
+            row["tottime_s"] / report["total_tottime_s"]
+            if report["total_tottime_s"] else 0.0
+        )
+        lines.append(
+            f"  {row['tottime_s']:>8.3f}s ({share:5.1%})  "
+            f"{row['ncalls']:>9} calls  {row['function']}  "
+            f"({row['file']}:{row['line']})"
+        )
+    return "\n".join(lines)
+
+
+def main(argv: list[str] | None = None) -> int:
+    """``repro profile`` entry point; returns a process exit code."""
+    from .bench import SCENARIOS
+
+    parser = argparse.ArgumentParser(
+        prog="repro profile",
+        description="Profile the host-side hot paths of one seeded bench "
+        "scenario (cProfile; feeds the vectorization target list).",
+    )
+    parser.add_argument(
+        "--scenario",
+        default="gc_heavy",
+        metavar="NAME",
+        help=f"bench scenario to profile (default gc_heavy); available: "
+        f"{', '.join(SCENARIOS)}",
+    )
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="small trace (CI smoke size)",
+    )
+    parser.add_argument(
+        "--top",
+        type=int,
+        default=25,
+        metavar="N",
+        help="functions kept per ranking (default 25)",
+    )
+    parser.add_argument(
+        "--out",
+        metavar="FILE",
+        default=None,
+        help="write the hot-function report to FILE as JSON",
+    )
+    parser.add_argument(
+        "--collapsed",
+        metavar="FILE",
+        default=None,
+        help="write caller;callee collapsed stacks (microsecond weights) "
+        "for flamegraph.pl / speedscope",
+    )
+    parser.add_argument(
+        "--json",
+        action="store_true",
+        help="print the report to stdout as JSON instead of a table",
+    )
+    args = parser.parse_args(argv)
+    if args.top < 1:
+        parser.error("--top must be >= 1")
+
+    try:
+        report, stats = profile_scenario(
+            args.scenario, quick=args.quick, top=args.top
+        )
+    except KeyError:
+        print(
+            f"repro profile: unknown scenario {args.scenario!r}; available: "
+            f"{', '.join(SCENARIOS)}",
+            file=sys.stderr,
+        )
+        return 2
+
+    if args.json:
+        print(json.dumps(report, indent=2, sort_keys=True))
+    else:
+        print(_render(report))
+    for path, writer in (
+        (args.out, lambda fh: (json.dump(report, fh, indent=2, sort_keys=True),
+                               fh.write("\n"))),
+        (args.collapsed,
+         lambda fh: fh.write("\n".join(collapsed_stacks(stats)) + "\n")),
+    ):
+        if not path:
+            continue
+        try:
+            parent = Path(path).parent
+            if parent != Path(""):
+                parent.mkdir(parents=True, exist_ok=True)
+            with open(path, "w", encoding="utf-8") as fh:
+                writer(fh)
+        except OSError as exc:
+            print(f"repro profile: cannot write {path}: {exc}", file=sys.stderr)
+            return 2
+        print(f"wrote {path}")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via the repro CLI
+    sys.exit(main())

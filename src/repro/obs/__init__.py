@@ -15,7 +15,12 @@ Three pillars, bundled by the :class:`Observability` facade:
 * **latency attribution** (:mod:`repro.obs.attribution`) — exact-sum
   decomposition of every completed request's latency into named phases
   (queue waits, bus transfer, die busy, GC stall, ECC retries, buffer
-  hits) with per-tenant/per-channel aggregation and Perfetto spans.
+  hits) with per-tenant/per-channel aggregation and Perfetto spans;
+* **causal explanation** (:mod:`repro.obs.critpath`,
+  :mod:`repro.obs.whatif`) — run-level critical-path extraction (which
+  resource bounds the makespan, exact-sum validated) and counterfactual
+  what-if profiling by exact re-simulation with scaled config knobs,
+  surfaced as ``repro explain``.
 
 Everything is opt-in: components take ``obs=None`` and pay at most one
 ``is not None`` branch per hot-path event when disabled.  Enable with::
@@ -41,12 +46,27 @@ from .attribution import (
     SubrequestSpan,
 )
 from .chrometrace import to_chrome_trace, write_chrome_trace
+from .critpath import (
+    CRITPATH_SCHEMA_VERSION,
+    BottleneckReport,
+    CritPathError,
+    extract_critical_path,
+)
 from .flightrecorder import FLIGHT_SCHEMA_VERSION, FlightRecorder
 from .profiler import UtilizationProfiler
 from .registry import DEFAULT_LATENCY_BUCKETS_US, Counter, Gauge, Histogram, MetricsRegistry, Series
 from .slo import SloAlert, SloSpec, SloSpecError, SloWatchdog
 from .telemetry import TELEMETRY_SCHEMA_VERSION, TelemetrySink
 from .trace import EVENT_NAMES, NULL_RECORDER, NullRecorder, TraceEvent, TraceRecorder, match_pairs
+from .whatif import (
+    DEFAULT_COUNTERFACTUALS,
+    WHATIF_SCHEMA_VERSION,
+    Counterfactual,
+    WhatIfReport,
+    WhatIfRow,
+    explain_decisions,
+    run_whatif,
+)
 
 __all__ = [
     "Observability",
@@ -65,6 +85,17 @@ __all__ = [
     "SubrequestSpan",
     "PHASE_NAMES",
     "DRAM_CHANNEL",
+    "BottleneckReport",
+    "CritPathError",
+    "extract_critical_path",
+    "CRITPATH_SCHEMA_VERSION",
+    "Counterfactual",
+    "DEFAULT_COUNTERFACTUALS",
+    "WhatIfReport",
+    "WhatIfRow",
+    "run_whatif",
+    "explain_decisions",
+    "WHATIF_SCHEMA_VERSION",
     "MetricsRegistry",
     "Counter",
     "Gauge",

@@ -90,7 +90,7 @@ class SubrequestSpan:
     """
 
     __slots__ = (
-        "channel",
+        "channel", "die",
         "die_enq_us", "die_grant_us", "die_wait_us", "gc_stall_us",
         "die_us", "ecc_retry_us",
         "bus_enq_us", "bus_grant_us", "bus_wait_us", "bus_us",
@@ -98,8 +98,11 @@ class SubrequestSpan:
         "_gc_mark_us",
     )
 
-    def __init__(self, channel: int) -> None:
+    def __init__(self, channel: int, die: int = -1) -> None:
         self.channel = channel
+        #: die index the critical page occupied (``-1`` = DRAM buffer);
+        #: the critical-path explainer keys its per-resource report on it
+        self.die = die
         self.die_enq_us = 0.0
         self.die_grant_us = 0.0
         self.die_wait_us = 0.0
@@ -150,7 +153,8 @@ class RequestAttribution:
     """Immutable phase decomposition of one completed request."""
 
     __slots__ = (
-        "workload_id", "op", "channel", "latency_us",
+        "workload_id", "op", "channel", "die", "latency_us",
+        "arrival_us", "complete_us",
         "queue_channel_us", "queue_die_us", "gc_stall_us",
         "bus_us", "die_us", "ecc_retry_us", "buffer_us",
     )
@@ -162,6 +166,9 @@ class RequestAttribution:
         channel: int,
         latency_us: float,
         *,
+        die: int = -1,
+        arrival_us: float = 0.0,
+        complete_us: float | None = None,
         queue_channel_us: float = 0.0,
         queue_die_us: float = 0.0,
         gc_stall_us: float = 0.0,
@@ -173,7 +180,14 @@ class RequestAttribution:
         self.workload_id = workload_id
         self.op = op
         self.channel = channel
+        self.die = die
         self.latency_us = latency_us
+        self.arrival_us = arrival_us
+        #: absolute completion time; defaults to ``arrival + latency`` so
+        #: hand-built records stay consistent with simulator-filled ones
+        self.complete_us = (
+            complete_us if complete_us is not None else arrival_us + latency_us
+        )
         self.queue_channel_us = queue_channel_us
         self.queue_die_us = queue_die_us
         self.gc_stall_us = gc_stall_us
@@ -198,6 +212,9 @@ class RequestAttribution:
             "workload_id": self.workload_id,
             "op": self.op,
             "channel": self.channel,
+            "die": self.die,
+            "arrival_us": self.arrival_us,
+            "complete_us": self.complete_us,
             "latency_us": self.latency_us,
             **self.phases(),
         }
@@ -355,9 +372,9 @@ class AttributionCollector:
         self.gc_reclaims: dict[int, dict[str, int]] = {}
 
     # ------------------------------------------------------------------
-    def span(self, channel: int) -> SubrequestSpan:
+    def span(self, channel: int, die: int = -1) -> SubrequestSpan:
         """New timeline builder for one dispatched page."""
-        return SubrequestSpan(channel)
+        return SubrequestSpan(channel, die)
 
     # ------------------------------------------------------------------
     def note_gc_trigger(self, workload_id: int, work_items: int) -> None:
@@ -395,6 +412,9 @@ class AttributionCollector:
             "read" if request.is_read else "write",
             span.channel,
             request.latency_us,
+            die=span.die,
+            arrival_us=request.arrival_us,
+            complete_us=request.complete_us,
             queue_channel_us=span.bus_wait_us,
             queue_die_us=span.die_wait_us,
             gc_stall_us=span.gc_stall_us,

@@ -13,7 +13,10 @@ everything needed to reproduce and diagnose the failure offline:
 * ``attribution_tail.json`` — the most recent attributed requests;
 * ``alerts.json`` — every SLO alert so far plus the triggering one;
 * ``telemetry_tail.json`` — the most recent telemetry windows;
-* ``sanitizer_events.json`` — the sanitizer's recent-event ring.
+* ``sanitizer_events.json`` — the sanitizer's recent-event ring;
+* ``critpath.json`` — the bottleneck report at trigger time (which
+  resource the critical path was bound by when things went wrong),
+  extracted from the attribution records when attribution is armed.
 
 Sections whose source is not attached are simply omitted (and listed as
 absent in the manifest).  Dumping writes files only — it schedules no
@@ -36,13 +39,16 @@ class FlightRecorder:
     """Dump-on-failure bundle writer (one directory per trigger)."""
 
     def __init__(self, out_dir, *, context=None, replay_argv=None,
-                 trace_tail=512, attribution_tail=64,
+                 explain_argv=None, trace_tail=512, attribution_tail=64,
                  telemetry_tail=32) -> None:
         self.out_dir = Path(out_dir)
         #: caller-supplied run description (config, seeds, scenario name…)
         self.context = dict(context) if context else {}
         #: exact argv that reproduces this run (``None`` = not replayable)
         self.replay_argv = list(replay_argv) if replay_argv else None
+        #: argv of the ``repro explain`` invocation that diagnoses this
+        #: run's bottleneck offline (``None`` = no canned explainer)
+        self.explain_argv = list(explain_argv) if explain_argv else None
         self.trace_tail = trace_tail
         self.attribution_tail = attribution_tail
         self.telemetry_tail = telemetry_tail
@@ -80,12 +86,29 @@ class FlightRecorder:
                         fh.write(json.dumps(ev.to_dict()) + "\n")
                 files.append("trace.jsonl")
             if obs.attribution is not None:
-                tail = obs.attribution.records[-self.attribution_tail:]
+                records = obs.attribution.records
+                tail = records[-self.attribution_tail:]
                 _write_json(
                     bundle / "attribution_tail.json",
                     [rec.to_dict() for rec in tail],
                 )
                 files.append("attribution_tail.json")
+                if records:
+                    # bottleneck report at trigger time: walk back from
+                    # the trigger's simulated time (or the last completion
+                    # when the trigger carries none).  validate=False — a
+                    # failure dump must never raise, and a mid-run chain's
+                    # residual is informative, not an invariant.
+                    from .critpath import extract_critical_path
+
+                    makespan_us = time_us
+                    if makespan_us <= 0.0:
+                        makespan_us = max(r.complete_us for r in records)
+                    report = extract_critical_path(
+                        records, makespan_us, validate=False,
+                    )
+                    _write_json(bundle / "critpath.json", report.to_dict())
+                    files.append("critpath.json")
             if obs.slo is not None:
                 _write_json(bundle / "alerts.json", {
                     "triggering": alert,
@@ -118,6 +141,11 @@ class FlightRecorder:
                 "command": (
                     shlex.join(self.replay_argv)
                     if self.replay_argv else None
+                ),
+                "explain_argv": self.explain_argv,
+                "explain_command": (
+                    shlex.join(self.explain_argv)
+                    if self.explain_argv else None
                 ),
             },
             "bundle_files": sorted(files),

@@ -15,11 +15,26 @@ from __future__ import annotations
 import dataclasses
 from dataclasses import dataclass
 
-__all__ = ["SSDConfig", "KiB", "MiB", "GiB"]
+__all__ = ["SSDConfig", "KNOBS", "KiB", "MiB", "GiB"]
 
 KiB = 1024
 MiB = 1024 * KiB
 GiB = 1024 * MiB
+
+#: Counterfactual knob name -> config fields it scales.  The what-if
+#: engine (``repro.obs.whatif``) re-simulates a run with one knob scaled
+#: by a factor; keeping the mapping here, next to the fields, means a
+#: renamed field breaks loudly instead of silently freezing a knob.
+#: ``gc_threshold`` scales *both* watermarks so the hysteresis band
+#: keeps its shape (``__post_init__`` enforces threshold < restore).
+KNOBS: dict[str, tuple[str, ...]] = {
+    "bus_bandwidth": ("channel_bandwidth_mbps",),
+    "read_latency": ("read_latency_us",),
+    "write_latency": ("write_latency_us",),
+    "erase_latency": ("erase_latency_us",),
+    "command_overhead": ("command_overhead_us",),
+    "gc_threshold": ("gc_threshold", "gc_restore"),
+}
 
 
 @dataclass(frozen=True)
@@ -168,6 +183,20 @@ class SSDConfig:
     def replace(self, **changes: object) -> "SSDConfig":
         """Return a copy with ``changes`` applied (frozen-dataclass update)."""
         return dataclasses.replace(self, **changes)  # type: ignore[arg-type]
+
+    def scale_knob(self, knob: str, factor: float) -> "SSDConfig":
+        """Return a copy with one :data:`KNOBS` entry scaled by ``factor``.
+
+        Raises ``KeyError`` for an unknown knob and lets
+        ``__post_init__``'s :class:`ValueError` propagate when the
+        scaled value is out of range (e.g. ``gc_threshold`` scaled past
+        1) — the what-if engine treats that as "knob inapplicable to
+        this configuration" rather than an error.
+        """
+        fields = KNOBS[knob]
+        return self.replace(
+            **{field: getattr(self, field) * factor for field in fields}
+        )
 
     def describe(self) -> str:
         """Human-readable one-paragraph summary (used by examples)."""

@@ -372,7 +372,7 @@ class SSDSimulator:
             span = None
             attribution = self._attribution
             if attribution is not None:
-                span = attribution.span(-1)
+                span = attribution.span(-1, -1)
                 span.buffer_us = dram_us
             self.loop.schedule(done, lambda: self._complete_page(key, span=span))
             return True
@@ -412,7 +412,11 @@ class SSDSimulator:
         span = None
         attribution = self._attribution
         if attribution is not None:
-            span = attribution.span(self.controller.geometry.channel_of(ppn))
+            geom = self.controller.geometry
+            span = attribution.span(
+                geom.channel_of(ppn),
+                geom.plane_index(ppn) // self._planes_per_die,
+            )
         unrecoverable = False
         if self.faults is not None:
             geom = self.controller.geometry
@@ -476,7 +480,11 @@ class SSDSimulator:
         span = None
         attribution = self._attribution
         if attribution is not None:
-            span = attribution.span(self.controller.geometry.channel_of(ppn))
+            geom = self.controller.geometry
+            span = attribution.span(
+                geom.channel_of(ppn),
+                geom.plane_index(ppn) // self._planes_per_die,
+            )
 
         def bus_granted(start: float) -> None:
             done = start + t.write_bus_us

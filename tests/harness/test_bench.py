@@ -223,6 +223,34 @@ class TestCli:
         assert "REGRESSION" in err
         assert "sim_mean_read_us" in err
 
+    def test_update_baseline_writes_instead_of_comparing(self, tmp_path,
+                                                         capsys):
+        target = tmp_path / "nested" / "base.json"
+        # poison the target first: --update-baseline must overwrite it
+        # without ever comparing against the stale contents
+        target.parent.mkdir()
+        target.write_text(json.dumps({"schema_version": 99}))
+        code, out, err = self.run_main(
+            ["--quick", "--scenario", "fastmodel", "--no-write",
+             "--update-baseline", "--baseline", str(target)],
+            capsys,
+        )
+        assert code == 0
+        assert f"updated baseline {target}" in out
+        assert "REGRESSION" not in err
+        doc = json.loads(target.read_text())
+        assert doc["schema_version"] == SCHEMA_VERSION
+        assert doc["quick"] is True
+        assert "fastmodel" in doc["scenarios"]
+        # the refreshed baseline round-trips through a normal check
+        code, out, _ = self.run_main(
+            ["--quick", "--scenario", "fastmodel", "--no-write",
+             "--baseline", str(target), "--max-regression", "500"],
+            capsys,
+        )
+        assert code == 0
+        assert "baseline check passed" in out
+
     def test_missing_baseline_exits_2(self, capsys):
         code, _, err = self.run_main(
             ["--quick", "--no-write", "--baseline", "/nonexistent.json"],

@@ -239,3 +239,39 @@ class TestTraceSpanEmission:
     def test_disabled_trace_is_dropped(self):
         coll = AttributionCollector(trace=None)
         assert coll.trace is None
+
+
+class TestBreakdownEdgeCases:
+    """Degenerate runs must produce well-formed summaries (satellite of
+    the critical-path explainer: it feeds on these aggregates)."""
+
+    def test_empty_run_fractions_and_format(self):
+        bd = AttributionCollector().breakdown()
+        assert bd.requests == 0
+        fractions = bd.phase_fractions()
+        assert set(fractions) == set(PHASE_NAMES)
+        assert all(value == 0.0 for value in fractions.values())
+        text = bd.format()
+        assert "0 requests" in text
+        assert "0.000s total" in text
+
+    def test_zero_latency_run_fractions_and_format(self):
+        # a record whose every phase is zero: requests > 0 but the total
+        # attributed latency is 0 — fractions must not divide by zero
+        coll = AttributionCollector()
+        span = coll.span(0)
+        coll.record(FakeRequest(arrival_us=5.0, complete_us=5.0), span)
+        bd = coll.breakdown()
+        assert bd.requests == 1
+        assert bd.total_latency_us == 0.0
+        fractions = bd.phase_fractions()
+        assert all(value == 0.0 for value in fractions.values())
+        text = bd.format()
+        assert "1 requests" in text  # renders, no ZeroDivisionError
+
+    def test_empty_run_to_dict_shape(self):
+        doc = AttributionCollector().breakdown().to_dict()
+        assert doc["requests"] == 0
+        assert doc["per_tenant"] == {}
+        assert doc["per_channel"] == {}
+        assert doc["phase_fractions"] == {n: 0.0 for n in PHASE_NAMES}

@@ -47,7 +47,23 @@ class TestBareDump:
     def test_no_replay_argv_means_not_replayable(self, tmp_path):
         rec = FlightRecorder(tmp_path)
         manifest = read_json(rec.dump("exception") / "manifest.json")
-        assert manifest["replay"] == {"argv": None, "command": None}
+        assert manifest["replay"] == {
+            "argv": None, "command": None,
+            "explain_argv": None, "explain_command": None,
+        }
+
+    def test_explain_command_recorded(self, tmp_path):
+        rec = FlightRecorder(
+            tmp_path,
+            replay_argv=["python", "-m", "repro", "bench",
+                         "--scenario", "gc_heavy"],
+            explain_argv=["python", "-m", "repro", "explain",
+                          "--scenario", "gc_heavy"],
+        )
+        manifest = read_json(rec.dump("slo-page") / "manifest.json")
+        assert manifest["replay"]["explain_command"] == (
+            "python -m repro explain --scenario gc_heavy"
+        )
 
     def test_sections_omitted_without_sources(self, tmp_path):
         rec = FlightRecorder(tmp_path)
@@ -104,3 +120,42 @@ class TestWithObservability:
         lines = (bundle / "trace.jsonl").read_text().strip().splitlines()
         assert len(lines) == 3
         assert json.loads(lines[0])["ts_us"] == 7.0
+
+
+class TestCritpathSection:
+    def test_bundle_carries_bottleneck_report(self, tmp_path):
+        from repro.obs.attribution import RequestAttribution
+
+        rec = FlightRecorder(tmp_path)
+        obs = Observability(trace=False, attribution=True, flight_recorder=rec)
+        obs.attribution.records.append(
+            RequestAttribution(0, "read", 2, 60.0, die=3, arrival_us=0.0,
+                               die_us=20.0, bus_us=40.0)
+        )
+        bundle = rec.dump("slo-page", time_us=60.0)
+        manifest = read_json(bundle / "manifest.json")
+        assert "critpath.json" in manifest["bundle_files"]
+        critpath = read_json(bundle / "critpath.json")
+        assert critpath["makespan_us"] == 60.0
+        assert critpath["critical_requests"] == 1
+        assert "die3" in critpath["resources"]
+
+    def test_trigger_without_time_uses_last_completion(self, tmp_path):
+        from repro.obs.attribution import RequestAttribution
+
+        rec = FlightRecorder(tmp_path)
+        obs = Observability(trace=False, attribution=True, flight_recorder=rec)
+        obs.attribution.records.append(
+            RequestAttribution(0, "write", 0, 200.0, die=0, arrival_us=10.0,
+                               die_us=200.0)
+        )
+        critpath = read_json(rec.dump("exception") / "critpath.json")
+        assert critpath["makespan_us"] == 210.0
+
+    def test_no_records_no_critpath_section(self, tmp_path):
+        rec = FlightRecorder(tmp_path)
+        obs = Observability(trace=False, attribution=True, flight_recorder=rec)
+        bundle = rec.dump("exception")
+        manifest = read_json(bundle / "manifest.json")
+        assert "critpath.json" not in manifest["bundle_files"]
+        assert "attribution_tail.json" in manifest["bundle_files"]
