@@ -19,10 +19,18 @@ The pipeline, end to end::
 """
 
 from .allocator import ChannelAllocator, OverheadReport, verified_allocate
+from .drift import DriftConfig, DriftDetector, DriftEvent
 from .evaluation import QualityReport, evaluate_learner, holdout_samples
 from .features import N_INTENSITY_LEVELS, FeaturesCollector, FeatureVector, features_of_mix
 from .hybrid import PagePolicy, page_modes_for
-from .keeper import KeeperRun, PeriodicRun, SSDKeeper
+from .keeper import KeeperDecision, KeeperRun, PeriodicRun, SSDKeeper
+from .online import (
+    ReplayBuffer,
+    ReplayWindow,
+    RetrainConfig,
+    RetrainEvent,
+    RetrainGovernor,
+)
 from .labeler import (
     Dataset,
     LabeledSample,
@@ -66,7 +74,16 @@ __all__ = [
     "ChannelAllocator",
     "OverheadReport",
     "verified_allocate",
+    "KeeperDecision",
     "KeeperRun",
     "PeriodicRun",
     "SSDKeeper",
+    "DriftConfig",
+    "DriftDetector",
+    "DriftEvent",
+    "ReplayBuffer",
+    "ReplayWindow",
+    "RetrainConfig",
+    "RetrainEvent",
+    "RetrainGovernor",
 ]

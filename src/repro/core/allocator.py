@@ -77,6 +77,24 @@ class ChannelAllocator:
             self.space.n_channels, features.write_dominated()
         )
 
+    def adopt(self, learner: StrategyLearner) -> None:
+        """Swap the live model for ``learner`` (a promoted candidate).
+
+        The strategy vocabulary must be shape-identical — class indices
+        are the network's output layout, so a different space would
+        silently remap every prediction.
+        """
+        if (
+            learner.space.n_channels != self.space.n_channels
+            or learner.space.n_tenants != self.space.n_tenants
+        ):
+            raise ValueError(
+                f"candidate is trained for {learner.space.n_channels} channels"
+                f"/{learner.space.n_tenants} tenants, allocator serves "
+                f"{self.space.n_channels}/{self.space.n_tenants}"
+            )
+        self.learner = learner
+
     def prediction_health(self, features: FeatureVector) -> str | None:
         """Sanity-check one inference; returns the problem or ``None`` if OK.
 

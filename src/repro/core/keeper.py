@@ -18,7 +18,7 @@ boundary, and residual old-channel traffic are all modelled.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Iterable, Sequence
 
 from ..ssd.config import SSDConfig
@@ -28,8 +28,10 @@ from ..ssd.metrics import SimulationResult
 from ..ssd.request import IORequest, OpType
 from ..ssd.simulator import SSDSimulator
 from .allocator import ChannelAllocator, verified_allocate
+from .drift import DriftConfig, DriftDetector, DriftEvent
 from .features import FeaturesCollector, FeatureVector
 from .hybrid import PagePolicy, page_modes_for
+from .online import ReplayBuffer, ReplayWindow, RetrainConfig, RetrainEvent, RetrainGovernor
 from .strategies import Strategy, StrategyKind
 
 __all__ = ["KeeperDecision", "KeeperRun", "PeriodicRun", "SSDKeeper"]
@@ -68,6 +70,21 @@ class KeeperDecision:
             "fallback_reason": self.fallback_reason,
         }
 
+    @classmethod
+    def from_dict(cls, data: dict) -> "KeeperDecision":
+        """Rebuild a decision from :meth:`to_dict` output (round-trip)."""
+        flat = data["features"]
+        n_tenants = (len(flat) - 1) // 2
+        return cls(
+            time_us=data["time_us"],
+            features=FeatureVector.from_array(flat, n_tenants),
+            strategy=data["strategy"],
+            window_requests=data["window_requests"],
+            predicted_mean_us=data["predicted_mean_us"],
+            realised_mean_us=data["realised_mean_us"],
+            fallback_reason=data.get("fallback_reason"),
+        )
+
 
 @dataclass
 class KeeperRun:
@@ -92,15 +109,40 @@ class PeriodicRun:
 
     ``decisions`` holds one ``(time_us, features, strategy)`` triple per
     window in which the keeper re-decided; windows with no traffic are
-    skipped (the previous allocation stays).
+    skipped (the previous allocation stays).  ``realised_us`` is aligned
+    with ``decisions``: entry *i* is the measured mean latency of the
+    window that followed decision *i* (``None`` when nothing completed
+    in it) — populated whether or not observability is attached.  The
+    ``drift_events`` / ``retrain_events`` / degradation fields are only
+    populated by adaptive runs (:meth:`SSDKeeper.run_adaptive`).
     """
 
     result: SimulationResult
     decisions: list[tuple[float, FeatureVector, Strategy]]
+    #: per-decision realised mean latency of the following window
+    realised_us: list[float | None] = field(default_factory=list)
+    drift_events: list[DriftEvent] = field(default_factory=list)
+    retrain_events: list[RetrainEvent] = field(default_factory=list)
+    #: healthy re-decisions the switch-rate limiter refused to deploy
+    suppressed_switches: int = 0
+    #: windows decided while degraded to Shared on persistent drift
+    degraded_windows: int = 0
 
     @property
     def switches(self) -> int:
         return len(self.decisions)
+
+    @property
+    def retrains(self) -> int:
+        return len(self.retrain_events)
+
+    @property
+    def promotions(self) -> int:
+        return sum(1 for e in self.retrain_events if e.promoted)
+
+    @property
+    def rollbacks(self) -> int:
+        return sum(1 for e in self.retrain_events if not e.promoted)
 
     def distinct_strategies(self) -> list[str]:
         seen: list[str] = []
@@ -125,6 +167,7 @@ class SSDKeeper:
         verify_top_k: int = 0,
         obs=None,
         faults: FaultConfig | None = None,
+        sanitizer=None,
         fallback_error_rate: float = 0.5,
     ) -> None:
         if collect_window_us <= 0:
@@ -157,6 +200,9 @@ class SSDKeeper:
         #: underlying device (and to fast-model replays, as an expected-value
         #: derating)
         self.faults = faults
+        #: optional :class:`repro.analysis.Sanitizer` threaded into every
+        #: simulator this keeper constructs (runtime invariant checking)
+        self.sanitizer = sanitizer
         #: graceful-degradation trigger: when the unhealthiest channel's
         #: observed error rate reaches this fraction, the keeper stops
         #: trusting the model and falls back (see :meth:`_decide`)
@@ -250,6 +296,7 @@ class SSDKeeper:
             on_submit=on_submit,
             obs=self.obs,
             faults=self.faults,
+            sanitizer=self.sanitizer,
         )
 
         decision: dict = {
@@ -347,6 +394,10 @@ class SSDKeeper:
         requests: Sequence[IORequest],
         *,
         horizon_us: float | None = None,
+        drift: DriftConfig | DriftDetector | None = None,
+        retrain: RetrainConfig | None = None,
+        switch_gap_windows: int = 0,
+        switch_margin: float = 0.1,
     ) -> PeriodicRun:
         """Self-adapt **every** collection window, not just once.
 
@@ -360,14 +411,65 @@ class SSDKeeper:
         ``horizon_us`` bounds the scheduling of adaptation events (defaults
         to the last arrival); the simulation itself always runs to
         completion.
+
+        The optional hardening layer (see :meth:`run_adaptive` for the
+        all-on entry point):
+
+        * ``drift`` — a :class:`DriftConfig` (or pre-built
+          :class:`DriftDetector`) watches the per-window feature stream
+          and the predicted-vs-realised residuals; detections surface as
+          ``drift.*`` counters, ``drift_detected`` trace events, and
+          :attr:`PeriodicRun.drift_events`.  Persistent drift with
+          unhealthy residuals degrades the keeper to Shared (the PR 2
+          fallback path) until a promoted retrain or recovered residuals
+          lift it.
+        * ``retrain`` — a :class:`RetrainConfig` arms the replay buffer
+          and the guarded retraining flow: candidates are fine-tuned on
+          harvested windows, shadow-validated on held-back ones, and
+          promoted or rolled back (``keeper.retrains`` /
+          ``keeper.promotions`` / ``keeper.rollbacks``).
+        * ``switch_gap_windows`` / ``switch_margin`` — the switch-rate
+          limiter: within ``switch_gap_windows`` windows of the last
+          switch a *different* healthy decision is deployed only when
+          its fast-model win over the incumbent allocation exceeds
+          ``switch_margin`` (relative); otherwise the switch is
+          suppressed (``keeper.suppressed_switches``) and the incumbent
+          stays — hysteresis against allocation thrash.
         """
         requests = list(requests)
         if not requests:
             raise ValueError("run_periodic needs a non-empty trace")
+        if switch_gap_windows < 0:
+            raise ValueError("switch_gap_windows must be non-negative")
+        if switch_margin < 0:
+            raise ValueError("switch_margin must be non-negative")
+        adaptive = drift is not None or retrain is not None
+        detector: DriftDetector | None = None
+        if isinstance(drift, DriftDetector):
+            detector = drift
+        elif adaptive:
+            detector = DriftDetector(drift)
+        governor: RetrainGovernor | None = None
+        buffer: ReplayBuffer | None = None
+        if retrain is not None:
+            governor = RetrainGovernor(
+                self.config, retrain,
+                page_policy=self.page_policy, faults=self.faults,
+            )
+            buffer = ReplayBuffer(retrain.capacity)
+
         n_tenants = self.allocator.space.n_tenants
         collector = FeaturesCollector(
             n_tenants, intensity_quantum=self.intensity_quantum
         )
+        window_requests: list[IORequest] = []
+        keep_window = adaptive or bool(self.verify_top_k)
+
+        def on_submit(req: IORequest) -> None:
+            collector.observe(req)
+            if keep_window:
+                window_requests.append(req)
+
         shared = {
             wid: list(range(self.config.channels)) for wid in range(n_tenants)
         }
@@ -376,51 +478,194 @@ class SSDKeeper:
             shared,
             page_modes=None,
             record_latencies=self.record_latencies,
-            on_submit=collector.observe,
+            on_submit=on_submit if keep_window else collector.observe,
             obs=self.obs,
             faults=self.faults,
+            sanitizer=self.sanitizer,
         )
-        decisions: list[tuple[float, FeatureVector, Strategy]] = []
+        run = PeriodicRun(result=None, decisions=[])  # result filled after sim.run
         last_label: str | None = None
+        last_strategy: Strategy | None = None
         last_good: Strategy | None = None
         obs = self.obs
-        # per-window realised latency: cumulative totals at the previous
-        # adaptation, plus the decision record the next delta belongs to
-        window_state = {"total_us": 0.0, "count": 0, "record": None}
+        # Per-window realised latency: cumulative totals at the previous
+        # adaptation tick, the obs decision record and the decision index
+        # the next delta belongs to, plus adaptive bookkeeping.
+        window_state = {
+            "total_us": 0.0, "count": 0, "record": None, "pending": None,
+            "windows": 0, "predicted_us": None, "last_switch": None,
+            "unhealthy": 0, "healthy": 0, "drifted": False, "degraded": False,
+        }
+
+        def window_delta_us() -> float | None:
+            """Realised mean latency of the window that just ended."""
+            reads = sim.acc.op_totals(OpType.READ)
+            writes = sim.acc.op_totals(OpType.WRITE)
+            total_latency_us = reads.total_us + writes.total_us
+            count = reads.count + writes.count
+            delta_us = total_latency_us - window_state["total_us"]
+            delta_n = count - window_state["count"]
+            window_state["total_us"] = total_latency_us
+            window_state["count"] = count
+            return delta_us / delta_n if delta_n else None
+
+        def settle_window(realised_us: float | None) -> None:
+            """Attribute ``realised_us`` to the decision awaiting it."""
+            record = window_state["record"]
+            if record is not None and realised_us is not None:
+                record.realised_mean_us = realised_us
+            window_state["record"] = None
+            pending = window_state["pending"]
+            if pending is not None and realised_us is not None:
+                run.realised_us[pending] = realised_us
+            window_state["pending"] = None
+
+        def deployed_cost_us(strategy: Strategy, features, window) -> float:
+            sets = strategy.channel_sets(
+                self.config.channels, features.write_dominated()
+            )
+            modes = page_modes_for(self.page_policy, features)
+            replay = fast_simulate(
+                list(window), self.config, sets, modes, faults=self.faults
+            )
+            return replay.mean_total_us
 
         def adapt() -> None:
-            nonlocal last_label, last_good
-            if obs is not None:
-                reads = sim.acc.op_totals(OpType.READ)
-                writes = sim.acc.op_totals(OpType.WRITE)
-                total_latency_us = reads.total_us + writes.total_us
-                count = reads.count + writes.count
-                delta_us = total_latency_us - window_state["total_us"]
-                delta_n = count - window_state["count"]
-                window_state["total_us"] = total_latency_us
-                window_state["count"] = count
-                record = window_state["record"]
-                if record is not None and delta_n:
-                    record.realised_mean_us = delta_us / delta_n
-                window_state["record"] = None
+            nonlocal last_label, last_strategy, last_good
+            realised_us = window_delta_us()
+            settle_window(realised_us)
+            # relative residual of the strategy deployed over the window
+            residual = None
+            predicted_us = window_state["predicted_us"]
+            if realised_us is not None and predicted_us:
+                residual = (realised_us - predicted_us) / predicted_us
             if collector.total_observed == 0:
+                window_requests.clear()
                 return
             observed = collector.total_observed
             features = collector.collect()
             collector.reset()
-            strategy, fallback_reason = self._decide(
-                sim, features, (), last_good=last_good
-            )
-            if fallback_reason is None:
-                last_good = strategy
-            decisions.append((sim.loop.now, features, strategy))
+            window = tuple(window_requests)
+            window_requests.clear()
+
+            drift_fired = False
+            if adaptive:
+                widx = window_state["windows"]
+                window_state["windows"] = widx + 1
+                if buffer is not None and window:
+                    buffer.add(ReplayWindow(
+                        time_us=sim.loop.now,
+                        features=features,
+                        deployed=last_label if last_label is not None else "Shared",
+                        realised_mean_us=realised_us,
+                        requests=window,
+                    ))
+                events = detector.update(
+                    sim.loop.now, features.to_array(), residual
+                )
+                drift_fired = bool(events)
+                if drift_fired:
+                    window_state["drifted"] = True
+                run.drift_events.extend(events)
+                if obs is not None:
+                    obs.registry.counter("drift.windows").inc()
+                    for event in events:
+                        obs.registry.counter("drift.detections").inc()
+                        obs.registry.counter(f"drift.{event.kind}_alarms").inc()
+                        obs.trace.emit(
+                            sim.loop.now, "drift_detected", "keeper", "drift",
+                            args=event.to_dict(),
+                        )
+                self._update_degradation(detector.config, window_state, residual, obs)
+                if governor is not None and governor.due(
+                    widx, drift_fired or window_state["degraded"]
+                ):
+                    event = governor.attempt(
+                        self.allocator, buffer,
+                        time_us=sim.loop.now, window_index=widx,
+                    )
+                    if event is not None:
+                        run.retrain_events.append(event)
+                        if obs is not None:
+                            obs.registry.counter("keeper.retrains").inc()
+                            obs.registry.counter(
+                                "keeper.promotions" if event.promoted
+                                else "keeper.rollbacks"
+                            ).inc()
+                            obs.trace.emit(
+                                sim.loop.now, "keeper_retrain", "keeper",
+                                "keeper", args=event.to_dict(),
+                            )
+                        if event.promoted:
+                            window_state["degraded"] = False
+                            window_state["drifted"] = False
+                            window_state["unhealthy"] = 0
+                            window_state["healthy"] = 0
+                            detector.reset()
+
+            if adaptive and window_state["degraded"]:
+                run.degraded_windows += 1
+                strategy = Strategy(StrategyKind.SHARED)
+                fallback_reason = (
+                    "persistent drift: residual above "
+                    f"{detector.config.unhealthy_residual:g} for "
+                    f"{detector.config.degrade_after} consecutive windows"
+                )
+                if obs is not None:
+                    obs.registry.counter("keeper.fallbacks").inc()
+                    obs.trace.emit(
+                        sim.loop.now, "keeper_fallback", "keeper", "keeper",
+                        args={"strategy": strategy.label,
+                              "reason": fallback_reason},
+                    )
+            else:
+                strategy, fallback_reason = self._decide(
+                    sim, features, window, last_good=last_good
+                )
+                if fallback_reason is None:
+                    last_good = strategy
+
             switched = strategy.label != last_label
+            if (
+                adaptive
+                and switched
+                and fallback_reason is None
+                and last_strategy is not None
+                and switch_gap_windows > 0
+                and window_state["last_switch"] is not None
+                and window_state["windows"] - 1 - window_state["last_switch"]
+                < switch_gap_windows
+                and window
+            ):
+                # Hysteresis: inside the cooldown a different decision only
+                # deploys when its measured fast-model win is large enough.
+                incumbent_us = deployed_cost_us(last_strategy, features, window)
+                challenger_us = deployed_cost_us(strategy, features, window)
+                win = (
+                    (incumbent_us - challenger_us) / incumbent_us
+                    if incumbent_us > 0 else 0.0
+                )
+                if win < switch_margin:
+                    run.suppressed_switches += 1
+                    if obs is not None:
+                        obs.registry.counter("keeper.suppressed_switches").inc()
+                    strategy = last_strategy
+                    switched = False
+
+            run.decisions.append((sim.loop.now, features, strategy))
+            run.realised_us.append(None)
+            window_state["pending"] = len(run.decisions) - 1
+            predicted_us = None
+            if adaptive and window:
+                predicted_us = deployed_cost_us(strategy, features, window)
+            window_state["predicted_us"] = predicted_us
             if obs is not None:
                 record = KeeperDecision(
                     time_us=sim.loop.now,
                     features=features,
                     strategy=strategy.label,
                     window_requests=observed,
+                    predicted_mean_us=predicted_us,
                     fallback_reason=fallback_reason,
                 )
                 obs.decisions.append(record)
@@ -435,6 +680,9 @@ class SSDKeeper:
             if not switched:
                 return  # same allocation: nothing to switch
             last_label = strategy.label
+            last_strategy = strategy
+            if adaptive:
+                window_state["last_switch"] = window_state["windows"] - 1
             sim.controller.reallocate(
                 strategy.channel_sets(
                     self.config.channels, features.write_dominated()
@@ -449,8 +697,72 @@ class SSDKeeper:
         while t <= end + self.collect_window_us:
             sim.loop.schedule(t, adapt)  # repro-lint: disable=R004 (absolute pre-run window boundary)
             t += self.collect_window_us
-        result = sim.run(requests)
-        return PeriodicRun(result=result, decisions=decisions)
+        run.result = sim.run(requests)
+        # Tail window: completions after the final adaptation tick would
+        # otherwise leave the last decision's realised latency dangling.
+        settle_window(window_delta_us())
+        return run
+
+    @staticmethod
+    def _update_degradation(
+        config: DriftConfig, window_state: dict, residual, obs
+    ) -> None:
+        """Track unhealthy/healthy residual streaks and flip degradation.
+
+        Degradation arms after ``degrade_after`` consecutive unhealthy
+        windows *following a drift detection* and disarms after the same
+        number of healthy ones (or a promoted retrain, handled by the
+        caller) — symmetric hysteresis so one noisy window flips nothing.
+        """
+        if residual is None:
+            return
+        if residual > config.unhealthy_residual:
+            window_state["unhealthy"] += 1
+            window_state["healthy"] = 0
+        else:
+            window_state["healthy"] += 1
+            window_state["unhealthy"] = 0
+        if (
+            not window_state["degraded"]
+            and window_state["drifted"]
+            and window_state["unhealthy"] >= config.degrade_after
+        ):
+            window_state["degraded"] = True
+            if obs is not None:
+                obs.registry.counter("keeper.degradations").inc()
+        elif (
+            window_state["degraded"]
+            and window_state["healthy"] >= config.degrade_after
+        ):
+            window_state["degraded"] = False
+            window_state["drifted"] = False
+
+    # ------------------------------------------------------------------
+    def run_adaptive(
+        self,
+        requests: Sequence[IORequest],
+        *,
+        horizon_us: float | None = None,
+        drift: DriftConfig | DriftDetector | None = None,
+        retrain: RetrainConfig | None = None,
+        switch_gap_windows: int = 2,
+        switch_margin: float = 0.1,
+    ) -> PeriodicRun:
+        """Periodic adaptation with the full hardening layer armed.
+
+        Convenience entry point: drift detection, guarded incremental
+        retraining, and the switch-rate limiter all default on (pass
+        explicit configs to tune them).  See :meth:`run_periodic` for the
+        semantics of each knob.
+        """
+        return self.run_periodic(
+            requests,
+            horizon_us=horizon_us,
+            drift=drift if drift is not None else DriftConfig(),
+            retrain=retrain if retrain is not None else RetrainConfig(),
+            switch_gap_windows=switch_gap_windows,
+            switch_margin=switch_margin,
+        )
 
     # ------------------------------------------------------------------
     def baseline_run(
@@ -479,5 +791,6 @@ class SSDKeeper:
             page_modes=modes,
             record_latencies=self.record_latencies,
             faults=self.faults,
+            sanitizer=self.sanitizer,
         )
         return sim.run(requests)

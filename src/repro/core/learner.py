@@ -141,6 +141,25 @@ class StrategyLearner:
         x = self.scaler.transform(dataset.features)
         return float((self.network.predict(x) == dataset.labels).mean())
 
+    def clone(self) -> "StrategyLearner":
+        """Deep copy of this trained learner (network weights + scaler).
+
+        The adaptive retraining flow fine-tunes the clone while the
+        original keeps serving, so a rejected candidate leaves the live
+        model untouched.
+        """
+        if not self._trained:
+            raise RuntimeError("refusing to clone an untrained learner")
+        copy = StrategyLearner(
+            self.space, hidden=self.hidden, activation=self.activation
+        )
+        copy.network = network_from_dict(network_to_dict(self.network))
+        copy.scaler = StandardScaler.from_state(self.scaler.state())
+        copy._trained = True
+        copy._last_history = History()
+        copy._last_optimizer = "cloned"
+        return copy
+
     # ------------------------------------------------------------------
     def save(self, path: str | Path) -> None:
         """Persist scaler + network + space shape (the FTL parameter blob)."""

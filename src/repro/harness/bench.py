@@ -200,6 +200,47 @@ def _scenario_fastmodel(total: int):
     return "fastmodel", requests, cfg, sets, None
 
 
+def _adversarial(builder_name: str, total: int, seed: int, **kwargs):
+    """Shared plumbing of the adversarial scenarios: build, truncate, share.
+
+    The generators size the trace from rates and phase durations, so the
+    chronological truncation to ``total`` mirrors the paper's "mix then
+    take the first N" recipe; channel sets stay fully shared — the bench
+    measures the simulator under hostile traffic, not the keeper.
+    """
+    from ..ssd.config import SSDConfig
+    from ..workloads.adversarial import build_scenario
+
+    cfg = SSDConfig.small()
+    workload = build_scenario(builder_name, seed=seed, **kwargs)
+    requests = workload.requests[:total]
+    sets = {
+        wid: list(range(cfg.channels)) for wid in range(workload.n_tenants)
+    }
+    return "simulator", requests, cfg, sets, None
+
+
+def _scenario_drift_hotspot(total: int):
+    return _adversarial(
+        "migrating_hotspot", total, seed=505,
+        base_rate_rps=3000.0, hot_rate_factor=6.0,
+    )
+
+
+def _scenario_phase_change(total: int):
+    return _adversarial(
+        "phase_change", total, seed=606,
+        base_rate_rps=3000.0, changer_rate_rps=9000.0,
+    )
+
+
+def _scenario_noisy_neighbor(total: int):
+    return _adversarial(
+        "noisy_neighbor", total, seed=707,
+        base_rate_rps=3000.0, noise_factor=8.0,
+    )
+
+
 #: scenario name -> builder(total_requests); insertion order is report order
 SCENARIOS: dict[str, Callable] = {
     "mix2_shared": _scenario_mix2,
@@ -207,6 +248,9 @@ SCENARIOS: dict[str, Callable] = {
     "gc_heavy": _scenario_gc_heavy,
     "faulted": _scenario_faulted,
     "fastmodel": _scenario_fastmodel,
+    "drift_hotspot": _scenario_drift_hotspot,
+    "phase_change": _scenario_phase_change,
+    "noisy_neighbor": _scenario_noisy_neighbor,
 }
 
 

@@ -17,6 +17,8 @@ Usage::
     python -m repro bench --quick --baseline benchmarks/baseline.json
     python -m repro explain --scenario gc_heavy --sanitize
     python -m repro profile --scenario gc_heavy --top 25
+    python -m repro drift --scenario migrating_hotspot --sanitize
+    python -m repro drift --scenario phase_change --poison --json
 
 Each experiment prints its regenerated table; expensive artifacts are
 cached under ``.repro-cache`` exactly as in the benches.  ``stats`` runs
@@ -36,7 +38,11 @@ exits nonzero when a metric regresses past ``--max-regression``.
 ``explain`` reconstructs the run-level critical path of a seeded bench
 scenario and sweeps exact counterfactuals (:mod:`repro.harness.explain`);
 ``profile`` cProfiles a scenario's host hot paths
-(:mod:`repro.harness.hostprofile`).
+(:mod:`repro.harness.hostprofile`).  ``drift`` plays an adversarial
+tenant scenario through the hardened adaptive keeper and the one-shot
+paper keeper side by side (:mod:`repro.harness.driftlab`): drift
+detections, guarded retrains with promote-or-rollback outcomes, and the
+latency comparison, all seeded and byte-identical across invocations.
 """
 
 from __future__ import annotations
@@ -391,6 +397,10 @@ def main(argv: list[str] | None = None) -> int:
         from .hostprofile import main as profile_main
 
         return profile_main(argv[1:])
+    if argv and argv[0] == "drift":
+        from .driftlab import main as drift_main
+
+        return drift_main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Regenerate SSDKeeper paper tables and figures.",
@@ -404,7 +414,9 @@ def main(argv: list[str] | None = None) -> int:
         "'repro lint [paths]' runs the domain lints R001-R004; "
         "'repro bench' runs the benchmark suite with regression tracking; "
         "'repro explain' reconstructs a scenario's critical path and sweeps "
-        "exact counterfactuals; 'repro profile' cProfiles its host hot paths)",
+        "exact counterfactuals; 'repro profile' cProfiles its host hot paths; "
+        "'repro drift' runs the adaptive keeper against adversarial tenant "
+        "scenarios)",
     )
     parser.add_argument(
         "--scale",

@@ -277,4 +277,25 @@ class Observability:
                     for d in self.decisions
                 ],
             }
+        adaptation = self._adaptation_summary(out.get("counters", {}))
+        if adaptation is not None:
+            out["adaptation"] = adaptation
         return out
+
+    def _adaptation_summary(self, counters: dict) -> dict | None:
+        """Roll the adaptive keeper's drift/retrain counters into one
+        section (``None`` when no adaptive run published anything)."""
+        names = {
+            "windows": "drift.windows",
+            "detections": "drift.detections",
+            "residual_alarms": "drift.residual_alarms",
+            "feature_alarms": "drift.feature_alarms",
+            "retrains": "keeper.retrains",
+            "promotions": "keeper.promotions",
+            "rollbacks": "keeper.rollbacks",
+            "suppressed_switches": "keeper.suppressed_switches",
+            "degradations": "keeper.degradations",
+        }
+        if not any(counter in counters for counter in names.values()):
+            return None
+        return {key: counters.get(counter, 0) for key, counter in names.items()}

@@ -10,6 +10,13 @@ Typical flow::
 """
 
 from . import msr, traces
+from .adversarial import (
+    SCENARIOS,
+    build_scenario,
+    migrating_hotspot,
+    noisy_neighbor,
+    phase_change,
+)
 from .mixer import MixedWorkload, mix, synthesize_mix
 from .spec import WorkloadSpec
 from .stats import TraceStats, analyze, per_workload
@@ -25,6 +32,11 @@ from .transform import (
 
 __all__ = [
     "WorkloadSpec",
+    "SCENARIOS",
+    "build_scenario",
+    "migrating_hotspot",
+    "noisy_neighbor",
+    "phase_change",
     "generate",
     "generate_arrays",
     "MixedWorkload",

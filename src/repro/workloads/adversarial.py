@@ -1,0 +1,252 @@
+"""Adversarial tenant scenarios — drift the offline model never saw.
+
+The offline learner is trained on stationary mixes: each tenant keeps one
+statistical identity for the whole trace.  Real multi-tenant devices are
+not that polite, and these generators produce the three hostile families
+the adaptive keeper is hardened against:
+
+* **migrating hotspot** (:func:`migrating_hotspot`) — one tenant at a
+  time carries a hot, skewed, write-leaning load while the rest idle
+  along; every phase the hotspot moves to the next tenant.  The *mix*
+  proportions the features collector sees rotate phase by phase, so a
+  one-shot decision is wrong for most of the trace.
+* **phase change** (:func:`phase_change`) — a single tenant flips
+  between a read-dominated and a write-dominated identity at every
+  phase boundary while the others stay fixed.  The paper's binary R/W
+  characteristic for that tenant inverts repeatedly — textbook concept
+  drift on one feature dimension.
+* **noisy neighbour** (:func:`noisy_neighbor`) — well-behaved tenants
+  share the device with one neighbour that alternates between near
+  silence and a write burst many times its quiet rate, stealing channel
+  time in bursts that decorrelate predicted from realised latency.
+
+All three build per-phase per-tenant specs and synthesise each phase
+with seeds derived from (scenario seed, phase, tenant), so a scenario is
+fully reproducible from its arguments.  Streams stay chronologically
+sorted per tenant (each phase generates inside its own time slot) and
+merge through the standard :func:`~repro.workloads.mixer.mix`.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+from ..ssd.request import IORequest
+from .mixer import MixedWorkload, mix
+from .spec import WorkloadSpec
+from .synthetic import generate
+
+__all__ = [
+    "SCENARIOS",
+    "migrating_hotspot",
+    "phase_change",
+    "noisy_neighbor",
+    "build_scenario",
+]
+
+
+def _phased_mix(
+    phase_specs: Sequence[Sequence[WorkloadSpec]],
+    *,
+    phase_us: float,
+    seed: int,
+    name: str,
+    base_specs: Sequence[WorkloadSpec],
+) -> MixedWorkload:
+    """Generate each (phase, tenant) slot independently and merge.
+
+    Each tenant's per-phase request count is sized from its rate and the
+    phase duration (oversampled, then clipped to the phase boundary), so
+    the realised intensity tracks the spec and phases never bleed into
+    each other.
+    """
+    if not phase_specs:
+        raise ValueError("need at least one phase")
+    n_tenants = len(phase_specs[0])
+    if any(len(specs) != n_tenants for specs in phase_specs):
+        raise ValueError("every phase must describe every tenant")
+    if phase_us <= 0:
+        raise ValueError("phase_us must be positive")
+    streams: list[list[IORequest]] = [[] for _ in range(n_tenants)]
+    for phase, specs in enumerate(phase_specs):
+        start_us = phase * phase_us
+        end_us = start_us + phase_us
+        for wid, spec in enumerate(specs):
+            seconds = phase_us / 1e6
+            count = max(1, int(round(spec.rate_rps * seconds * 1.3)))
+            requests = generate(
+                spec,
+                count,
+                workload_id=wid,
+                seed=seed * 100_003 + phase * 101 + wid,
+                start_us=start_us,
+            )
+            streams[wid].extend(r for r in requests if r.arrival_us < end_us)
+    workload = mix(streams, base_specs, name=name)
+    workload.metadata.update(
+        phases=len(phase_specs),
+        phase_us=phase_us,
+        seed=seed,
+        phase_specs=[[s.name for s in specs] for specs in phase_specs],
+    )
+    return workload
+
+
+def _background(i: int, rate_rps: float) -> WorkloadSpec:
+    """A quiet, read-leaning tenant — the stationary crowd."""
+    return WorkloadSpec(
+        name=f"bg{i}",
+        write_ratio=0.2,
+        rate_rps=rate_rps,
+        footprint_pages=1 << 14,
+        sequential_fraction=0.3,
+    )
+
+
+def migrating_hotspot(
+    *,
+    n_tenants: int = 4,
+    phases: int = 4,
+    phase_us: float = 50_000.0,
+    base_rate_rps: float = 2_000.0,
+    hot_rate_factor: float = 6.0,
+    hot_write_ratio: float = 0.8,
+    seed: int = 0,
+) -> MixedWorkload:
+    """A hot, skewed, write-leaning load that moves tenants every phase."""
+    if n_tenants < 2:
+        raise ValueError("migrating hotspot needs at least 2 tenants")
+    if phases < 1:
+        raise ValueError("phases must be >= 1")
+    if hot_rate_factor <= 1:
+        raise ValueError("hot_rate_factor must exceed 1")
+    base_specs = [_background(i, base_rate_rps) for i in range(n_tenants)]
+    phase_specs = []
+    for phase in range(phases):
+        hot = phase % n_tenants
+        specs = []
+        for i in range(n_tenants):
+            if i == hot:
+                specs.append(WorkloadSpec(
+                    name=f"hot{i}",
+                    write_ratio=hot_write_ratio,
+                    rate_rps=base_rate_rps * hot_rate_factor,
+                    footprint_pages=1 << 12,
+                    sequential_fraction=0.1,
+                    skew=1.5,
+                    burstiness=2.0,
+                ))
+            else:
+                specs.append(base_specs[i])
+        phase_specs.append(specs)
+    return _phased_mix(
+        phase_specs, phase_us=phase_us, seed=seed,
+        name="migrating_hotspot", base_specs=base_specs,
+    )
+
+
+def phase_change(
+    *,
+    n_tenants: int = 4,
+    phases: int = 4,
+    phase_us: float = 50_000.0,
+    base_rate_rps: float = 2_000.0,
+    changer_rate_rps: float = 6_000.0,
+    read_write_ratio: float = 0.1,
+    write_write_ratio: float = 0.9,
+    seed: int = 0,
+) -> MixedWorkload:
+    """Tenant 0 flips read-heavy <-> write-heavy at every phase boundary."""
+    if n_tenants < 1:
+        raise ValueError("phase change needs at least 1 tenant")
+    if phases < 2:
+        raise ValueError("phase change needs at least 2 phases")
+    base_specs = [_background(i, base_rate_rps) for i in range(n_tenants)]
+    base_specs[0] = WorkloadSpec(
+        name="changer",
+        write_ratio=read_write_ratio,
+        rate_rps=changer_rate_rps,
+        footprint_pages=1 << 14,
+        sequential_fraction=0.3,
+    )
+    phase_specs = []
+    for phase in range(phases):
+        ratio = read_write_ratio if phase % 2 == 0 else write_write_ratio
+        specs = list(base_specs)
+        specs[0] = WorkloadSpec(
+            name=f"changer-p{phase}",
+            write_ratio=ratio,
+            rate_rps=changer_rate_rps,
+            footprint_pages=1 << 14,
+            sequential_fraction=0.3,
+        )
+        phase_specs.append(specs)
+    return _phased_mix(
+        phase_specs, phase_us=phase_us, seed=seed,
+        name="phase_change", base_specs=base_specs,
+    )
+
+
+def noisy_neighbor(
+    *,
+    n_tenants: int = 4,
+    phases: int = 4,
+    phase_us: float = 50_000.0,
+    base_rate_rps: float = 2_000.0,
+    quiet_rate_rps: float = 200.0,
+    noise_factor: float = 8.0,
+    seed: int = 0,
+) -> MixedWorkload:
+    """The last tenant alternates near-silence with a write-burst storm."""
+    if n_tenants < 2:
+        raise ValueError("noisy neighbour needs at least 2 tenants")
+    if phases < 2:
+        raise ValueError("noisy neighbour needs at least 2 phases")
+    if noise_factor <= 1:
+        raise ValueError("noise_factor must exceed 1")
+    base_specs = [_background(i, base_rate_rps) for i in range(n_tenants - 1)]
+    neighbor = n_tenants - 1
+    quiet = WorkloadSpec(
+        name="neighbor-quiet",
+        write_ratio=0.2,
+        rate_rps=quiet_rate_rps,
+        footprint_pages=1 << 12,
+        sequential_fraction=0.5,
+    )
+    loud = WorkloadSpec(
+        name="neighbor-loud",
+        write_ratio=0.95,
+        rate_rps=base_rate_rps * noise_factor,
+        footprint_pages=1 << 12,
+        sequential_fraction=0.1,
+        skew=1.0,
+        burstiness=3.0,
+    )
+    base_specs.append(quiet.with_name(f"bg{neighbor}"))
+    phase_specs = []
+    for phase in range(phases):
+        specs = list(base_specs)
+        specs[neighbor] = quiet if phase % 2 == 0 else loud
+        phase_specs.append(specs)
+    return _phased_mix(
+        phase_specs, phase_us=phase_us, seed=seed,
+        name="noisy_neighbor", base_specs=base_specs,
+    )
+
+
+#: scenario registry: name -> builder (all keyword-only knobs)
+SCENARIOS: dict[str, Callable[..., MixedWorkload]] = {
+    "migrating_hotspot": migrating_hotspot,
+    "phase_change": phase_change,
+    "noisy_neighbor": noisy_neighbor,
+}
+
+
+def build_scenario(name: str, **kwargs) -> MixedWorkload:
+    """Build a named adversarial scenario (see :data:`SCENARIOS`)."""
+    try:
+        builder = SCENARIOS[name]
+    except KeyError:
+        known = ", ".join(sorted(SCENARIOS))
+        raise ValueError(f"unknown scenario {name!r} (known: {known})") from None
+    return builder(**kwargs)

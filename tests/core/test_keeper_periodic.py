@@ -7,6 +7,8 @@ from repro.core import (
     ChannelAllocator,
     Dataset,
     FeatureVector,
+    KeeperDecision,
+    PeriodicRun,
     SSDKeeper,
     StrategyLearner,
     StrategySpace,
@@ -94,3 +96,101 @@ class TestPeriodicAdaptation:
         )
         with pytest.raises(ValueError):
             keeper.run_periodic([])
+
+
+class TestPeriodicRunEdgeCases:
+    """``switches`` / ``distinct_strategies`` on degenerate runs."""
+
+    def test_zero_decisions(self):
+        run = PeriodicRun(result=None, decisions=[])
+        assert run.switches == 0
+        assert run.distinct_strategies() == []
+        assert run.retrains == 0
+        assert run.promotions == 0
+        assert run.rollbacks == 0
+
+    def test_all_same_strategy(self):
+        space = StrategySpace(8, 4)
+        shared = space.by_label("Shared")
+        decisions = [(float(i) * 1000.0, None, shared) for i in range(5)]
+        run = PeriodicRun(result=None, decisions=decisions)
+        assert run.switches == 5
+        assert run.distinct_strategies() == ["Shared"]
+
+    def test_fallback_only_run_stays_on_shared(self):
+        """A keeper whose network is corrupted degrades every window."""
+        cfg = SSDConfig.small()
+        allocator = make_allocator()
+        for param in allocator.learner.network.parameters():
+            param.fill(np.nan)
+        keeper = SSDKeeper(
+            allocator, cfg, collect_window_us=25_000.0, intensity_quantum=50.0
+        )
+        run = keeper.run_periodic(phased_trace(cfg))
+        assert run.switches >= 2
+        assert run.distinct_strategies() == ["Shared"]
+
+    def test_realised_latency_is_populated_without_obs(self):
+        """Per-window realised deltas no longer require observability."""
+        cfg = SSDConfig.small()
+        keeper = SSDKeeper(
+            make_allocator(), cfg, collect_window_us=25_000.0,
+            intensity_quantum=50.0,
+        )
+        run = keeper.run_periodic(phased_trace(cfg))
+        assert len(run.realised_us) == len(run.decisions)
+        measured = [v for v in run.realised_us if v is not None]
+        assert measured and all(v > 0 for v in measured)
+
+    def test_tail_window_attribution_with_obs(self):
+        """The final decision's realised latency is attributed after the
+        simulation drains (the last window used to dangle).
+
+        ``horizon_us`` stops the tick schedule at 75ms while arrivals run
+        to ~82ms, so the last decision's window completes only after the
+        final adaptation tick — exactly the dangling case.
+        """
+        from repro.obs import Observability
+
+        cfg = SSDConfig.small()
+        obs = Observability()
+        keeper = SSDKeeper(
+            make_allocator(), cfg, collect_window_us=25_000.0,
+            intensity_quantum=50.0, obs=obs,
+        )
+        run = keeper.run_periodic(phased_trace(cfg), horizon_us=50_000.0)
+        assert obs.decisions
+        last = obs.decisions[-1]
+        assert last.realised_mean_us is not None
+        assert last.realised_mean_us > 0
+        assert run.realised_us[-1] == pytest.approx(last.realised_mean_us)
+
+
+class TestKeeperDecisionRoundTrip:
+    def test_to_dict_from_dict(self):
+        decision = KeeperDecision(
+            time_us=25_000.0,
+            features=FeatureVector(3, (1, 0, 1, 0), (0.4, 0.3, 0.2, 0.1)),
+            strategy="7:1",
+            window_requests=120,
+            predicted_mean_us=88.5,
+            realised_mean_us=91.25,
+            fallback_reason=None,
+        )
+        restored = KeeperDecision.from_dict(decision.to_dict())
+        assert restored == decision
+
+    def test_round_trip_with_fallback_reason(self):
+        decision = KeeperDecision(
+            time_us=50_000.0,
+            features=FeatureVector(1, (0, 0, 0, 0), (0.25, 0.25, 0.25, 0.25)),
+            strategy="Shared",
+            window_requests=10,
+            fallback_reason="unhealthy prediction: non-finite network output",
+        )
+        payload = decision.to_dict()
+        assert payload["fallback_reason"].startswith("unhealthy")
+        restored = KeeperDecision.from_dict(payload)
+        assert restored == decision
+        assert restored.predicted_mean_us is None
+        assert restored.realised_mean_us is None

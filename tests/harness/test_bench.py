@@ -88,6 +88,7 @@ class TestRunBench:
     def test_scenario_registry(self):
         assert set(SCENARIOS) == {
             "mix2_shared", "mix4_split", "gc_heavy", "faulted", "fastmodel",
+            "drift_hotspot", "phase_change", "noisy_neighbor",
         }
 
 

@@ -1,0 +1,169 @@
+"""Adversarial tenant scenarios — structure, determinism, validation."""
+
+import pytest
+
+from repro.workloads import (
+    SCENARIOS,
+    build_scenario,
+    migrating_hotspot,
+    noisy_neighbor,
+    phase_change,
+)
+
+PHASES = 4
+PHASE_US = 20_000.0
+
+
+def build(name, **kwargs):
+    kwargs.setdefault("phases", PHASES)
+    kwargs.setdefault("phase_us", PHASE_US)
+    kwargs.setdefault("seed", 7)
+    return build_scenario(name, **kwargs)
+
+
+def phase_slice(workload, phase):
+    lo, hi = phase * PHASE_US, (phase + 1) * PHASE_US
+    return [r for r in workload.requests if lo <= r.arrival_us < hi]
+
+
+def tenant_counts(requests, n_tenants):
+    counts = [0] * n_tenants
+    for r in requests:
+        counts[r.workload_id] += 1
+    return counts
+
+
+class TestCommonStructure:
+    @pytest.mark.parametrize("name", sorted(SCENARIOS))
+    def test_sorted_and_bounded(self, name):
+        workload = build(name)
+        arrivals = [r.arrival_us for r in workload.requests]
+        assert arrivals == sorted(arrivals)
+        assert arrivals[0] >= 0.0
+        assert arrivals[-1] < PHASES * PHASE_US
+
+    @pytest.mark.parametrize("name", sorted(SCENARIOS))
+    def test_metadata_records_the_recipe(self, name):
+        workload = build(name)
+        assert workload.name == name
+        assert workload.metadata["phases"] == PHASES
+        assert workload.metadata["phase_us"] == PHASE_US
+        assert workload.metadata["seed"] == 7
+        assert len(workload.metadata["phase_specs"]) == PHASES
+
+    @pytest.mark.parametrize("name", sorted(SCENARIOS))
+    def test_every_phase_has_traffic(self, name):
+        workload = build(name)
+        for phase in range(PHASES):
+            assert phase_slice(workload, phase)
+
+
+class TestDeterminism:
+    @pytest.mark.parametrize("name", sorted(SCENARIOS))
+    def test_same_seed_same_trace(self, name):
+        a, b = build(name), build(name)
+        assert len(a.requests) == len(b.requests)
+        assert all(
+            (x.arrival_us, x.workload_id, x.op, x.lpn, x.length)
+            == (y.arrival_us, y.workload_id, y.op, y.lpn, y.length)
+            for x, y in zip(a.requests, b.requests)
+        )
+
+    def test_different_seed_different_trace(self):
+        a, b = build("migrating_hotspot"), build("migrating_hotspot", seed=8)
+        assert [r.arrival_us for r in a.requests] != [
+            r.arrival_us for r in b.requests
+        ]
+
+
+class TestMigratingHotspot:
+    def test_hotspot_rotates_tenants(self):
+        workload = build("migrating_hotspot", n_tenants=4)
+        for phase in range(PHASES):
+            counts = tenant_counts(phase_slice(workload, phase), 4)
+            assert counts.index(max(counts)) == phase % 4
+
+    def test_hot_phase_is_write_leaning(self):
+        workload = build("migrating_hotspot", hot_write_ratio=0.8)
+        for phase in range(PHASES):
+            hot = phase % 4
+            sliced = phase_slice(workload, phase)
+            hot_reqs = [r for r in sliced if r.workload_id == hot]
+            writes = sum(1 for r in hot_reqs if not r.is_read)
+            assert writes / len(hot_reqs) > 0.5
+
+
+class TestPhaseChange:
+    def test_changer_flips_write_ratio(self):
+        workload = build("phase_change")
+        fractions = []
+        for phase in range(PHASES):
+            reqs = [
+                r for r in phase_slice(workload, phase) if r.workload_id == 0
+            ]
+            writes = sum(1 for r in reqs if not r.is_read)
+            fractions.append(writes / len(reqs))
+        assert fractions[0] < 0.5 < fractions[1]
+        assert fractions[2] < 0.5 < fractions[3]
+
+    def test_background_tenants_stay_stationary(self):
+        workload = build("phase_change", n_tenants=4)
+        for wid in range(1, 4):
+            counts = [
+                len([
+                    r
+                    for r in phase_slice(workload, phase)
+                    if r.workload_id == wid
+                ])
+                for phase in range(PHASES)
+            ]
+            assert max(counts) < 3 * max(1, min(counts))
+
+
+class TestNoisyNeighbor:
+    def test_neighbor_alternates_quiet_and_loud(self):
+        workload = build("noisy_neighbor", n_tenants=4, noise_factor=8.0)
+        neighbor_counts = [
+            len([
+                r for r in phase_slice(workload, phase) if r.workload_id == 3
+            ])
+            for phase in range(PHASES)
+        ]
+        assert neighbor_counts[1] > 5 * neighbor_counts[0]
+        assert neighbor_counts[3] > 5 * neighbor_counts[2]
+
+    def test_loud_phases_are_write_storms(self):
+        workload = build("noisy_neighbor", n_tenants=4)
+        loud = [
+            r for r in phase_slice(workload, 1) if r.workload_id == 3
+        ]
+        writes = sum(1 for r in loud if not r.is_read)
+        assert writes / len(loud) > 0.8
+
+
+class TestValidation:
+    def test_unknown_scenario(self):
+        with pytest.raises(ValueError, match="unknown scenario"):
+            build_scenario("nope")
+
+    @pytest.mark.parametrize("builder,kwargs", [
+        (migrating_hotspot, {"n_tenants": 1}),
+        (migrating_hotspot, {"phases": 0}),
+        (migrating_hotspot, {"hot_rate_factor": 1.0}),
+        (migrating_hotspot, {"phase_us": 0.0}),
+        (phase_change, {"n_tenants": 0}),
+        (phase_change, {"phases": 1}),
+        (noisy_neighbor, {"n_tenants": 1}),
+        (noisy_neighbor, {"phases": 1}),
+        (noisy_neighbor, {"noise_factor": 1.0}),
+    ])
+    def test_bad_knobs_rejected(self, builder, kwargs):
+        with pytest.raises(ValueError):
+            builder(**kwargs)
+
+    def test_registry_matches_builders(self):
+        assert SCENARIOS == {
+            "migrating_hotspot": migrating_hotspot,
+            "phase_change": phase_change,
+            "noisy_neighbor": noisy_neighbor,
+        }
