@@ -1,45 +1,90 @@
-"""AST-walking lint engine: file discovery, waiver parsing, rule dispatch.
+"""Lint engine: discovery, parse cache, waivers, rule dispatch, fingerprints.
 
-The engine is deliberately small: it parses each file once, extracts
-per-line waivers from comments, derives the dotted module name (so rules
-can scope themselves to ``repro.ssd`` / ``repro.core``), and hands the
-:class:`ModuleSource` to every selected rule.  Violations on a line
-carrying a matching waiver comment are kept in the report (so ``--json``
-consumers can audit them) but marked ``waived`` and excluded from the
-exit-code decision.
+The engine parses each file once (with an mtime-keyed cache shared across
+*processes*, so ``repro lint`` followed by ``python -m repro.analysis`` in
+the same CI job re-parses nothing), extracts per-line waivers from
+comments, derives the dotted module name (so rules can scope themselves to
+``repro.ssd`` / ``repro.core``), and dispatches two rule families:
+
+* **per-file rules** (R001–R004) see one :class:`ModuleSource` at a time;
+* **program rules** (R005–R007) see a :class:`~repro.analysis.program.Program`
+  built once over *all* discovered modules — symbol table, call graph,
+  interprocedural edges.
+
+Violations on a line carrying a matching waiver comment are kept in the
+report (so ``--json`` consumers can audit them) but marked ``waived`` and
+excluded from the exit-code decision.  Every violation also carries a
+stable content-addressed ``fingerprint`` (rule + path + source line text +
+occurrence index — deliberately *not* the line number, so unrelated edits
+above a finding don't churn it), the key the suppression baseline
+(:mod:`repro.analysis.baseline`) matches on.
 
 Waiver grammar (one comment per line, reason mandatory)::
 
     expr  # repro-lint: disable=R001 (trace column 0 is microseconds)
     expr  # repro-lint: disable=R001,R004 (absolute trace timestamps)
 
+The reason runs to the *last* closing paren on the line, so justifications
+may themselves contain parentheses: ``(1/rps is seconds (SI), so ...)``.
 A waiver without a parenthesised justification does **not** silence the
 violation — the point of the waiver is the written reason.
 
 Fixture files outside the package tree can pin the module name rules see
 with a header comment: ``# repro-lint: module=repro.ssd.fixture``.
+
+Report output is deterministic: discovery sorts by posix-style path,
+violations sort by (path, line, col, rule), and the JSON document contains
+nothing run-dependent — two invocations over the same tree are
+byte-identical.
 """
 
 from __future__ import annotations
 
 import ast
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
+import hashlib
+import os
 from pathlib import Path
+import pickle
 import re
+import sys
 from typing import Iterable, Sequence
 
-__all__ = ["Violation", "Waiver", "ModuleSource", "Report", "LintEngine", "lint_paths"]
+__all__ = [
+    "REPORT_SCHEMA_VERSION",
+    "Violation",
+    "Waiver",
+    "ModuleSource",
+    "Report",
+    "LintEngine",
+    "lint_paths",
+    "load_report_dict",
+]
 
+#: version stamped into :meth:`Report.to_dict` (v1 was the pre-interprocedural
+#: per-file report; v2 adds fingerprints, suppression and tool metadata)
+REPORT_SCHEMA_VERSION = 2
+
+#: JSON report keys every consumer may rely on (see :func:`load_report_dict`)
+_REPORT_FIELDS = frozenset({
+    "schema_version", "tool", "files", "ok", "counts", "suppressed",
+    "violations",
+})
+
+# The reason capture runs greedily to the LAST ')' on the line: a reason
+# like "(1/rps is seconds (SI), so the product is unitless)" must survive
+# intact — the old [^)]* grammar truncated it at the first ')', silently
+# invalidating the waiver.
 _WAIVER_RE = re.compile(
     r"#\s*repro-lint:\s*disable=(?P<codes>[A-Z]\d{3}(?:\s*,\s*[A-Z]\d{3})*)"
-    r"(?:\s*\((?P<reason>[^)]*)\))?"
+    r"(?:\s*\((?P<reason>.*)\))?"
 )
 _MODULE_RE = re.compile(r"#\s*repro-lint:\s*module=(?P<module>[\w.]+)")
 
 
 @dataclass(frozen=True)
 class Violation:
-    """One finding: rule code, location, and message."""
+    """One finding: rule code, location, message, and stable fingerprint."""
 
     rule: str
     path: str
@@ -48,11 +93,15 @@ class Violation:
     message: str
     waived: bool = False
     waiver_reason: str | None = None
+    suppressed: bool = False
+    fingerprint: str = ""
 
     def format(self) -> str:
         text = f"{self.path}:{self.line}:{self.col}: {self.rule} {self.message}"
         if self.waived:
             text += f"  [waived: {self.waiver_reason}]"
+        if self.suppressed:
+            text += "  [baseline]"
         return text
 
     def to_dict(self) -> dict:
@@ -64,6 +113,8 @@ class Violation:
             "message": self.message,
             "waived": self.waived,
             "waiver_reason": self.waiver_reason,
+            "suppressed": self.suppressed,
+            "fingerprint": self.fingerprint,
         }
 
 
@@ -101,11 +152,87 @@ class ModuleSource:
             waivers=_parse_waivers(text),
         )
 
+    @classmethod
+    def load(cls, path: Path, *, root_package: str = "repro") -> "ModuleSource":
+        """Like :meth:`parse`, through the mtime-keyed parse cache."""
+        return _cached_parse(path, root_package=root_package)
+
     def in_package(self, *prefixes: str) -> bool:
         """True when this module lives under any of the dotted prefixes."""
         return any(
             self.module == p or self.module.startswith(p + ".") for p in prefixes
         )
+
+    def line_text(self, lineno: int) -> str:
+        lines = self.text.splitlines()
+        if 1 <= lineno <= len(lines):
+            return lines[lineno - 1].strip()
+        return ""
+
+
+# ----------------------------------------------------------------------
+# Parse cache: in-memory for one process, pickled ASTs on disk so the
+# second tool invocation in the same CI job skips parsing entirely.
+# Entries are keyed by resolved path and validated by (mtime_ns, size);
+# any cache failure falls back to a plain parse.
+# ----------------------------------------------------------------------
+_CACHE_FORMAT = 1
+_MEM_CACHE: dict[str, tuple[int, int, ModuleSource]] = {}
+
+
+def _cache_dir() -> Path:
+    env = os.environ.get("REPRO_LINT_CACHE_DIR")
+    if env:
+        return Path(env)
+    return Path(".repro-cache") / "lint-ast"
+
+
+def _cached_parse(path: Path, *, root_package: str) -> ModuleSource:
+    resolved = str(path.resolve())
+    try:
+        stat = path.stat()
+        stamp = (stat.st_mtime_ns, stat.st_size)
+    except OSError:
+        return ModuleSource.parse(path, root_package=root_package)
+    entry = _MEM_CACHE.get(resolved)
+    if entry is not None and entry[:2] == stamp:
+        return replace_path(entry[2], path)
+    disk_key = hashlib.sha256(
+        f"{_CACHE_FORMAT}|{sys.version_info[:2]}|{root_package}|{resolved}".encode()
+    ).hexdigest()[:24]
+    disk_path = _cache_dir() / f"{disk_key}.pkl"
+    try:
+        with open(disk_path, "rb") as fh:
+            mtime_ns, size, module = pickle.load(fh)
+        if (mtime_ns, size) == stamp:
+            _MEM_CACHE[resolved] = (mtime_ns, size, module)
+            return replace_path(module, path)
+    except Exception:
+        pass  # missing/corrupt/stale cache entry: re-parse below
+    module = ModuleSource.parse(path, root_package=root_package)
+    _MEM_CACHE[resolved] = (*stamp, module)
+    try:
+        disk_path.parent.mkdir(parents=True, exist_ok=True)
+        tmp = disk_path.with_suffix(".tmp")
+        with open(tmp, "wb") as fh:
+            pickle.dump((*stamp, module), fh)
+        os.replace(tmp, disk_path)
+    except Exception:
+        pass  # cache is best-effort; the parse already succeeded
+    return module
+
+
+def replace_path(module: ModuleSource, path: Path) -> ModuleSource:
+    """Re-anchor a cached module at the path string used *this* run."""
+    if module.path == path:
+        return module
+    return ModuleSource(
+        path=path,
+        module=module.module,
+        text=module.text,
+        tree=module.tree,
+        waivers=module.waivers,
+    )
 
 
 def _derive_module(path: Path, text: str, root_package: str) -> str:
@@ -143,15 +270,21 @@ class Report:
 
     violations: list[Violation]
     files: int
+    #: (code, summary) for every rule that ran, in code order
+    rules: list[tuple[str, str]] = field(default_factory=list)
 
     @property
     def active(self) -> list[Violation]:
-        """Violations that fail the run (not waived)."""
-        return [v for v in self.violations if not v.waived]
+        """Violations that fail the run (not waived, not baselined)."""
+        return [v for v in self.violations if not v.waived and not v.suppressed]
 
     @property
     def waived(self) -> list[Violation]:
         return [v for v in self.violations if v.waived]
+
+    @property
+    def baselined(self) -> list[Violation]:
+        return [v for v in self.violations if v.suppressed]
 
     @property
     def ok(self) -> bool:
@@ -165,16 +298,38 @@ class Report:
 
     def to_dict(self) -> dict:
         return {
-            "version": 1,
+            "schema_version": REPORT_SCHEMA_VERSION,
+            "tool": {
+                "name": "repro-analysis",
+                "rules": {code: summary for code, summary in self.rules},
+            },
             "files": self.files,
             "ok": self.ok,
             "counts": self.counts(),
+            "suppressed": len(self.baselined),
             "violations": [v.to_dict() for v in self.violations],
         }
 
 
+def load_report_dict(doc: dict) -> dict:
+    """Validate a machine-readable report (the v2 round-trip reader).
+
+    Raises :class:`ValueError` on a version or shape mismatch; returns the
+    document unchanged otherwise.
+    """
+    if doc.get("schema_version") != REPORT_SCHEMA_VERSION:
+        raise ValueError(
+            f"report has schema_version {doc.get('schema_version')!r}; "
+            f"this tool reads version {REPORT_SCHEMA_VERSION}"
+        )
+    missing = _REPORT_FIELDS - set(doc)
+    if missing:
+        raise ValueError(f"report is missing fields: {sorted(missing)}")
+    return doc
+
+
 class LintEngine:
-    """Runs a set of rules over files or directory trees."""
+    """Runs per-file and whole-program rules over files or directory trees."""
 
     def __init__(
         self,
@@ -194,27 +349,91 @@ class LintEngine:
             rules = [rule for rule in rules if rule.code in wanted]
         self.rules = list(rules)
 
+    def _split_rules(self):
+        from .rules import ProgramRule
+
+        file_rules = [r for r in self.rules if not isinstance(r, ProgramRule)]
+        program_rules = [r for r in self.rules if isinstance(r, ProgramRule)]
+        return file_rules, program_rules
+
     # ------------------------------------------------------------------
     def lint_file(self, path: Path | str) -> list[Violation]:
-        module = ModuleSource.parse(Path(path))
-        return self.lint_module(module)
+        module = ModuleSource.load(Path(path))
+        file_rules, program_rules = self._split_rules()
+        violations = self._file_violations(module, file_rules)
+        if program_rules:
+            violations.extend(
+                self._program_violations([module], program_rules)
+            )
+        violations.sort(key=lambda v: (v.line, v.col, v.rule, v.message))
+        return _fingerprint({str(module.path): module}, violations)
 
     def lint_module(self, module: ModuleSource) -> list[Violation]:
+        violations = self._file_violations(module, self._split_rules()[0])
+        violations.sort(key=lambda v: (v.line, v.col, v.rule, v.message))
+        return violations
+
+    def lint_paths(
+        self,
+        paths: Iterable[Path | str],
+        *,
+        only: Iterable[Path | str] | None = None,
+    ) -> Report:
+        """Lint ``paths``; with ``only``, report just those files.
+
+        ``only`` is the diff-aware mode: the *whole* tree is still parsed
+        and the program rules still see every module (interprocedural
+        findings need the full call graph), but violations outside the
+        ``only`` set are dropped from the report.
+        """
+        files = _dedupe_sorted(_discover(paths))
+        modules = [ModuleSource.load(path) for path in files]
+        by_path = {str(m.path): m for m in modules}
+        file_rules, program_rules = self._split_rules()
         violations: list[Violation] = []
-        for rule in self.rules:
+        for module in modules:
+            violations.extend(self._file_violations(module, file_rules))
+        if program_rules:
+            violations.extend(self._program_violations(modules, program_rules))
+        if only is not None:
+            keep = {str(Path(p).resolve()) for p in only}
+            violations = [
+                v for v in violations if str(Path(v.path).resolve()) in keep
+            ]
+        violations.sort(key=lambda v: (v.path, v.line, v.col, v.rule, v.message))
+        violations = _fingerprint(by_path, violations)
+        return Report(
+            violations=violations,
+            files=len(files),
+            rules=[(r.code, r.summary) for r in self.rules],
+        )
+
+    # ------------------------------------------------------------------
+    def _file_violations(self, module: ModuleSource, rules) -> list[Violation]:
+        violations: list[Violation] = []
+        for rule in rules:
             if rule.applies_to and not module.in_package(*rule.applies_to):
                 continue
             for violation in rule.check(module):
                 violations.append(self._apply_waiver(module, violation))
-        violations.sort(key=lambda v: (v.line, v.col, v.rule))
         return violations
 
-    def lint_paths(self, paths: Iterable[Path | str]) -> Report:
-        files = sorted(_discover(paths))
+    def _program_violations(self, modules, rules) -> list[Violation]:
+        from .program import Program
+
+        program = Program.build(modules)
+        by_path = {str(m.path): m for m in modules}
         violations: list[Violation] = []
-        for path in files:
-            violations.extend(self.lint_file(path))
-        return Report(violations=violations, files=len(files))
+        for rule in rules:
+            for violation in rule.check_program(program):
+                module = by_path.get(violation.path)
+                if module is None:
+                    violations.append(violation)
+                    continue
+                if rule.applies_to and not module.in_package(*rule.applies_to):
+                    continue
+                violations.append(self._apply_waiver(module, violation))
+        return violations
 
     # ------------------------------------------------------------------
     @staticmethod
@@ -223,23 +442,51 @@ class LintEngine:
         if waiver is None or violation.rule not in waiver.codes:
             return violation
         if not waiver.justified:
-            return Violation(
-                rule=violation.rule,
-                path=violation.path,
-                line=violation.line,
-                col=violation.col,
+            return replace(
+                violation,
                 message=violation.message
                 + " [waiver rejected: missing (justification)]",
             )
-        return Violation(
-            rule=violation.rule,
-            path=violation.path,
-            line=violation.line,
-            col=violation.col,
-            message=violation.message,
+        return replace(
+            violation,
             waived=True,
             waiver_reason=waiver.reason.strip(),
         )
+
+
+def _fingerprint(
+    by_path: dict[str, ModuleSource], violations: list[Violation]
+) -> list[Violation]:
+    """Attach content-addressed fingerprints (stable under line drift)."""
+    occurrence: dict[tuple[str, str, str], int] = {}
+    out: list[Violation] = []
+    for violation in violations:
+        module = by_path.get(violation.path)
+        line_text = module.line_text(violation.line) if module else ""
+        key = (violation.rule, violation.path, line_text)
+        index = occurrence.get(key, 0)
+        occurrence[key] = index + 1
+        digest = hashlib.sha256(
+            f"{violation.rule}|{_posix(violation.path)}|{line_text}|{index}".encode()
+        ).hexdigest()[:16]
+        out.append(replace(violation, fingerprint=digest))
+    return out
+
+
+def _posix(path: str) -> str:
+    return Path(path).as_posix()
+
+
+def _dedupe_sorted(paths: Iterable[Path]) -> list[Path]:
+    """Platform-independent ordering: posix path string, duplicates dropped."""
+    seen: set[str] = set()
+    unique: list[Path] = []
+    for path in paths:
+        key = str(path.resolve())
+        if key not in seen:
+            seen.add(key)
+            unique.append(path)
+    return sorted(unique, key=lambda p: p.as_posix())
 
 
 def _discover(paths: Iterable[Path | str]) -> Iterable[Path]:
@@ -256,7 +503,10 @@ def _discover(paths: Iterable[Path | str]) -> Iterable[Path]:
 
 
 def lint_paths(
-    paths: Iterable[Path | str], *, select: Iterable[str] | None = None
+    paths: Iterable[Path | str],
+    *,
+    select: Iterable[str] | None = None,
+    only: Iterable[Path | str] | None = None,
 ) -> Report:
     """One-shot convenience wrapper: lint ``paths`` with the default rules."""
-    return LintEngine(select=select).lint_paths(paths)
+    return LintEngine(select=select).lint_paths(paths, only=only)

@@ -15,7 +15,7 @@ from typing import TYPE_CHECKING, Iterator
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..engine import ModuleSource, Violation
 
-__all__ = ["Rule", "RULE_CODES", "default_rules"]
+__all__ = ["Rule", "ProgramRule", "RULE_CODES", "default_rules"]
 
 
 class Rule:
@@ -45,11 +45,32 @@ class Rule:
         )
 
 
+class ProgramRule(Rule):
+    """Whole-program rule: sees the package-wide symbol table + call graph.
+
+    Subclasses implement ``check_program(program)`` instead of ``check``;
+    the engine builds one :class:`~repro.analysis.program.Program` per run
+    (one parse per module) and dispatches every program rule over it.
+    ``applies_to`` filters by the module each violation lands in.
+    """
+
+    def check(self, module: "ModuleSource") -> Iterator["Violation"]:
+        # program rules never run per-file; the engine routes them through
+        # check_program with a single-module program when needed
+        return iter(())
+
+    def check_program(self, program) -> Iterator["Violation"]:
+        raise NotImplementedError
+
+
 def default_rules() -> list[Rule]:
-    """The four domain rules, in code order."""
+    """The seven domain rules, in code order."""
     from .determinism import DeterminismHygieneRule
+    from .poolsafety import PoolSafetyRule
     from .purity import OptInPurityRule
     from .scheduling import EventLoopDisciplineRule
+    from .schema import SchemaRoundTripRule
+    from .seedflow import SeedProvenanceRule
     from .units import UnitHygieneRule
 
     return [
@@ -57,7 +78,10 @@ def default_rules() -> list[Rule]:
         DeterminismHygieneRule(),
         OptInPurityRule(),
         EventLoopDisciplineRule(),
+        SeedProvenanceRule(),
+        PoolSafetyRule(),
+        SchemaRoundTripRule(),
     ]
 
 
-RULE_CODES = ("R001", "R002", "R003", "R004")
+RULE_CODES = ("R001", "R002", "R003", "R004", "R005", "R006", "R007")

@@ -44,6 +44,7 @@ __all__ = [
     "BenchRegression",
     "run_bench",
     "run_scenario",
+    "load_bench",
     "compare",
     "write_bench",
     "main",
@@ -406,6 +407,35 @@ def run_bench(
     return doc
 
 
+#: top-level fields every bench document carries (round-trip contract
+#: with run_bench — R007 checks writer and reader agree on this set)
+_BENCH_FIELDS = frozenset({
+    "schema_version", "created", "quick", "repeat", "python", "platform",
+    "scenarios",
+})
+
+
+def load_bench(doc: dict, *, side: str = "bench") -> dict:
+    """Validate a bench result document produced by :func:`run_bench`.
+
+    The round-trip reader for the bench schema: refuses version
+    mismatches and structurally truncated documents so comparison never
+    operates on half a result.
+    """
+    if doc.get("schema_version") != SCHEMA_VERSION:
+        raise ValueError(
+            f"{side} document has schema_version "
+            f"{doc.get('schema_version')!r}; this tool expects "
+            f"{SCHEMA_VERSION}"
+        )
+    missing = _BENCH_FIELDS - set(doc)
+    if missing:
+        raise ValueError(
+            f"{side} document is missing fields: {sorted(missing)}"
+        )
+    return doc
+
+
 def write_bench(doc: dict, out_dir) -> Path:
     """Write ``doc`` as ``BENCH_<timestamp>.json`` under ``out_dir``."""
     out_dir = Path(out_dir)
@@ -452,12 +482,7 @@ def compare(
     if max_regression_pct < 0:
         raise ValueError("max_regression_pct must be non-negative")
     for doc, side in ((current, "current"), (baseline, "baseline")):
-        if doc.get("schema_version") != SCHEMA_VERSION:
-            raise ValueError(
-                f"{side} document has schema_version "
-                f"{doc.get('schema_version')!r}; this tool expects "
-                f"{SCHEMA_VERSION}"
-            )
+        load_bench(doc, side=side)
     if bool(current.get("quick")) != bool(baseline.get("quick")):
         raise ValueError(
             "cannot compare a --quick run against a full-size baseline "

@@ -31,8 +31,10 @@ instrumented run with the seeded NAND fault model switched on
 the report includes the ``faults.*`` counters.  ``--sanitize`` attaches
 the runtime :class:`~repro.analysis.Sanitizer` to the ``stats`` /
 ``faults`` run (invariant checks on every event, grant, mapping op and GC
-pass).  ``lint`` runs the repro domain lints (R001-R004) and forwards its
-arguments to ``python -m repro.analysis``.  ``bench`` runs the fixed
+pass).  ``lint`` runs the repro domain lints — per-file R001-R004 plus the
+whole-program rules R005-R007 (seed provenance, pool safety, schema
+round-trip) — and forwards its arguments to ``python -m repro.analysis``
+(``--json`` / ``--sarif`` / ``--changed`` / ``--baseline`` included).  ``bench`` runs the fixed
 benchmark suite (:mod:`repro.harness.bench`) and, with ``--baseline``,
 exits nonzero when a metric regresses past ``--max-regression``.
 ``explain`` reconstructs the run-level critical path of a seeded bench
@@ -411,7 +413,7 @@ def main(argv: list[str] | None = None) -> int:
         help="which table/figure to regenerate ('all' runs everything; "
         "'stats' runs one instrumented simulation and reports its metrics; "
         "'faults' is the same run under the seeded NAND fault model; "
-        "'repro lint [paths]' runs the domain lints R001-R004; "
+        "'repro lint [paths]' runs the domain lints R001-R007; "
         "'repro bench' runs the benchmark suite with regression tracking; "
         "'repro explain' reconstructs a scenario's critical path and sweeps "
         "exact counterfactuals; 'repro profile' cProfiles its host hot paths; "

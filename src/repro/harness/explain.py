@@ -27,10 +27,55 @@ import json
 import sys
 from pathlib import Path
 
-__all__ = ["EXPLAIN_SCHEMA_VERSION", "explain_scenario", "main"]
+__all__ = [
+    "EXPLAIN_SCHEMA_VERSION",
+    "explain_scenario",
+    "load_explain",
+    "main",
+]
 
 #: Bump when the document layout changes shape.
 EXPLAIN_SCHEMA_VERSION = 1
+
+#: top-level fields of the explain document ("whatif"/"sanitizer" are
+#: present only when those passes ran; R007 round-trip contract)
+_EXPLAIN_FIELDS = frozenset({
+    "schema_version", "scenario", "quick", "requests", "makespan_us",
+    "total_latency_us", "summary", "critpath", "decisions", "whatif",
+    "sanitizer",
+})
+
+#: fields that must be present in every document (no optional passes)
+_EXPLAIN_REQUIRED = frozenset({
+    "schema_version", "scenario", "quick", "requests", "makespan_us",
+    "total_latency_us", "summary", "critpath", "decisions",
+})
+
+
+def load_explain(doc: dict) -> dict:
+    """Validate a saved explain document (round-trip reader).
+
+    Refuses schema_version mismatches, unknown top-level fields, and
+    documents missing the always-present core fields.
+    """
+    if doc.get("schema_version") != EXPLAIN_SCHEMA_VERSION:
+        raise ValueError(
+            f"explain document has schema_version "
+            f"{doc.get('schema_version')!r}; this tool reads version "
+            f"{EXPLAIN_SCHEMA_VERSION}"
+        )
+    public = {key for key in doc if not key.startswith("_")}
+    missing = _EXPLAIN_REQUIRED - public
+    if missing:
+        raise ValueError(
+            f"explain document is missing fields: {sorted(missing)}"
+        )
+    unknown = public - _EXPLAIN_FIELDS
+    if unknown:
+        raise ValueError(
+            f"explain document has unknown fields: {sorted(unknown)}"
+        )
+    return doc
 
 
 def explain_scenario(

@@ -36,12 +36,41 @@ from pathlib import Path
 __all__ = [
     "HOTPATH_SCHEMA_VERSION",
     "profile_scenario",
+    "load_profile",
     "collapsed_stacks",
     "main",
 ]
 
 #: Bump when the document layout changes shape.
 HOTPATH_SCHEMA_VERSION = 1
+
+#: top-level fields of the hot-path report (R007 round-trip contract
+#: with profile_scenario; hotpath_baseline.json diffs rely on these)
+_HOTPATH_FIELDS = frozenset({
+    "schema_version", "scenario", "kind", "quick", "requests", "wall_s",
+    "sim_makespan_us", "total_calls", "total_tottime_s", "top_by_tottime",
+    "top_by_cumtime",
+})
+
+
+def load_profile(doc: dict) -> dict:
+    """Validate a hot-path report document (round-trip reader).
+
+    The vectorization PR diffs new reports against the pinned baseline;
+    this refuses version mismatches and truncated documents first.
+    """
+    if doc.get("schema_version") != HOTPATH_SCHEMA_VERSION:
+        raise ValueError(
+            f"hot-path report has schema_version "
+            f"{doc.get('schema_version')!r}; this tool reads version "
+            f"{HOTPATH_SCHEMA_VERSION}"
+        )
+    missing = _HOTPATH_FIELDS - set(doc)
+    if missing:
+        raise ValueError(
+            f"hot-path report is missing fields: {sorted(missing)}"
+        )
+    return doc
 
 #: path prefixes stripped from file names in reports, longest first
 _REPO_ROOT = Path(__file__).resolve().parents[3]

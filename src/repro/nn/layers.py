@@ -33,7 +33,10 @@ class Dense:
         self.fan_in = fan_in
         self.fan_out = fan_out
         self.activation = get_activation(activation)
-        rng = rng or np.random.default_rng()
+        if rng is None:
+            # deterministic default: standalone Dense construction must not
+            # draw OS entropy (R005); Network threads its seeded rng here
+            rng = np.random.default_rng(0)
         if isinstance(self.activation, ReLU):
             bound = np.sqrt(6.0 / fan_in)  # He-uniform
         else:

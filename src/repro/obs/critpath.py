@@ -48,10 +48,39 @@ __all__ = [
     "PathStep",
     "BottleneckReport",
     "extract_critical_path",
+    "load_report",
 ]
 
 #: Bump when the report document layout changes shape.
 CRITPATH_SCHEMA_VERSION = 1
+
+#: top-level fields of BottleneckReport.to_dict (R007 round-trip
+#: contract; flight-recorder bundles persist these documents)
+_REPORT_FIELDS = frozenset({
+    "schema_version", "makespan_us", "critical_requests", "host_gap_us",
+    "internal_tail_us", "residual_us", "resources", "phase_totals_us",
+    "ranked", "steps",
+})
+
+
+def load_report(doc: dict) -> dict:
+    """Validate a persisted bottleneck report (round-trip reader).
+
+    Flight-recorder bundles and explain documents embed these; refuse
+    version mismatches and truncated documents before interpreting one.
+    """
+    if doc.get("schema_version") != CRITPATH_SCHEMA_VERSION:
+        raise ValueError(
+            f"critical-path report has schema_version "
+            f"{doc.get('schema_version')!r}; this tool reads version "
+            f"{CRITPATH_SCHEMA_VERSION}"
+        )
+    missing = _REPORT_FIELDS - set(doc)
+    if missing:
+        raise ValueError(
+            f"critical-path report is missing fields: {sorted(missing)}"
+        )
+    return doc
 
 #: float slack when matching completions against chain boundaries
 _TIME_EPSILON_US = 1e-9

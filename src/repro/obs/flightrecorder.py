@@ -30,9 +30,42 @@ import json
 import shlex
 from pathlib import Path
 
-__all__ = ["FlightRecorder", "FLIGHT_SCHEMA_VERSION"]
+__all__ = ["FlightRecorder", "FLIGHT_SCHEMA_VERSION", "load_manifest"]
 
 FLIGHT_SCHEMA_VERSION = 1
+
+#: fields of the bundle manifest (R007 round-trip contract; replay
+#: tooling reads these back from bundle directories)
+_MANIFEST_FIELDS = frozenset({
+    "schema_version", "trigger", "detail", "time_us", "context", "replay",
+    "bundle_files",
+})
+
+
+def load_manifest(bundle_dir) -> dict:
+    """Read and validate ``manifest.json`` from a flight bundle directory.
+
+    The round-trip reader for bundle manifests: refuses version
+    mismatches and truncated manifests so replay commands are never
+    assembled from half a bundle.
+    """
+    from pathlib import Path as _Path
+
+    path = _Path(bundle_dir) / "manifest.json"
+    with open(path, "r", encoding="utf-8") as fh:
+        doc = json.load(fh)
+    if doc.get("schema_version") != FLIGHT_SCHEMA_VERSION:
+        raise ValueError(
+            f"bundle manifest has schema_version "
+            f"{doc.get('schema_version')!r}; this tool reads version "
+            f"{FLIGHT_SCHEMA_VERSION}"
+        )
+    missing = _MANIFEST_FIELDS - set(doc)
+    if missing:
+        raise ValueError(
+            f"bundle manifest is missing fields: {sorted(missing)}"
+        )
+    return doc
 
 
 class FlightRecorder:

@@ -111,6 +111,13 @@ class SloSpec:
         """
         if not isinstance(data, dict):
             raise SloSpecError("bad-spec", "spec must be a JSON object")
+        version = data.get("schema_version", SLO_SCHEMA_VERSION)
+        if version != SLO_SCHEMA_VERSION:
+            raise SloSpecError(
+                "bad-spec",
+                f"spec has schema_version {version!r}; this build reads "
+                f"version {SLO_SCHEMA_VERSION}",
+            )
         unknown = set(data) - {
             "schema_version", "window_us", "tenants", "failed_read_budget",
             "gc_stall_fraction", "keeper_health_floor", "burn",

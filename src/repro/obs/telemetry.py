@@ -23,10 +23,36 @@ import json
 
 from .registry import Counter, Gauge, Histogram, MetricsRegistry
 
-__all__ = ["TelemetrySink", "TELEMETRY_SCHEMA_VERSION"]
+__all__ = ["TelemetrySink", "TELEMETRY_SCHEMA_VERSION", "load_header"]
 
 #: bump when the window record layout changes
 TELEMETRY_SCHEMA_VERSION = 1
+
+#: fields of the stream header record (R007 round-trip contract with
+#: TelemetrySink.header; the obs export summary emits a subset)
+_HEADER_FIELDS = frozenset({
+    "kind", "schema_version", "interval_us", "windows", "channels", "dies",
+})
+
+
+def load_header(doc: dict) -> dict:
+    """Validate a telemetry stream header (round-trip reader).
+
+    The first line of a ``to_jsonl`` stream must parse to this record;
+    consumers call this before trusting any window line.
+    """
+    if doc.get("schema_version") != TELEMETRY_SCHEMA_VERSION:
+        raise ValueError(
+            f"telemetry header has schema_version "
+            f"{doc.get('schema_version')!r}; this tool reads version "
+            f"{TELEMETRY_SCHEMA_VERSION}"
+        )
+    missing = _HEADER_FIELDS - set(doc)
+    if missing and doc.get("kind") == "header":
+        raise ValueError(
+            f"telemetry header is missing fields: {sorted(missing)}"
+        )
+    return doc
 
 
 class TelemetrySink:

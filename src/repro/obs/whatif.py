@@ -35,6 +35,7 @@ from __future__ import annotations
 
 __all__ = [
     "WHATIF_SCHEMA_VERSION",
+    "load_report",
     "Counterfactual",
     "DEFAULT_COUNTERFACTUALS",
     "WhatIfRow",
@@ -45,6 +46,27 @@ __all__ = [
 
 #: Bump when the report document layout changes shape.
 WHATIF_SCHEMA_VERSION = 1
+
+#: top-level fields of WhatIfReport.to_dict (R007 round-trip contract)
+_WHATIF_FIELDS = frozenset({
+    "schema_version", "requests", "baseline", "counterfactuals",
+})
+
+
+def load_report(doc: dict) -> dict:
+    """Validate a persisted what-if report (round-trip reader)."""
+    if doc.get("schema_version") != WHATIF_SCHEMA_VERSION:
+        raise ValueError(
+            f"what-if report has schema_version "
+            f"{doc.get('schema_version')!r}; this tool reads version "
+            f"{WHATIF_SCHEMA_VERSION}"
+        )
+    missing = _WHATIF_FIELDS - set(doc)
+    if missing:
+        raise ValueError(
+            f"what-if report is missing fields: {sorted(missing)}"
+        )
+    return doc
 
 
 class Counterfactual:

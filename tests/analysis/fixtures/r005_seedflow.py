@@ -1,0 +1,8 @@
+"""R005 golden fixture: ambient RNG construction with no seed provenance."""
+# repro-lint: module=repro.fixture.seeds
+
+import random
+
+
+def make_generator():
+    return random.Random()

@@ -1,0 +1,20 @@
+"""R006 golden fixture: a pooled callable smuggling a mutable module global.
+
+``record`` looks innocent — it is a module-level def, picklable, no
+closure — but it appends to ``_RESULTS``, which is fork-copied into every
+worker: each child mutates its own copy and the parent sees nothing.
+"""
+# repro-lint: module=repro.harness.fixture
+
+from repro.harness.sweep import run_sweep
+
+_RESULTS = []
+
+
+def record(params):
+    _RESULTS.append(params)
+    return params
+
+
+def sweep_all(grid):
+    return run_sweep(record, grid)

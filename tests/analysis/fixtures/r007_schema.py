@@ -1,0 +1,11 @@
+"""R007 golden fixture: a schema_version writer with no paired reader."""
+# repro-lint: module=repro.fixture.store
+
+STORE_SCHEMA_VERSION = 3
+
+
+def export_state(items):
+    return {
+        "schema_version": STORE_SCHEMA_VERSION,
+        "items": list(items),
+    }

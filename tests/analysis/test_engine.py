@@ -19,6 +19,9 @@ GOLDEN = {
     "r002_determinism.py": "R002",
     "r003_purity.py": "R003",
     "r004_scheduling.py": "R004",
+    "r005_seedflow.py": "R005",
+    "r006_poolsmuggle.py": "R006",
+    "r007_schema.py": "R007",
 }
 
 
@@ -49,6 +52,13 @@ class TestGoldenFixtures:
         assert module.module == "repro.ssd.fixture"
         module = ModuleSource.parse(FIXTURES / "r003_purity.py")
         assert module.module == "repro.core.fixture"
+        # the interprocedural fixtures pin modules the same way: the R006
+        # fixture maps itself into the harness namespace so its import of
+        # repro.harness.sweep resolves against the real package
+        module = ModuleSource.parse(FIXTURES / "r006_poolsmuggle.py")
+        assert module.module == "repro.harness.fixture"
+        module = ModuleSource.parse(FIXTURES / "r007_schema.py")
+        assert module.module == "repro.fixture.store"
 
 
 class TestWaivers:
@@ -124,15 +134,26 @@ class TestCLI:
         proc = _cli("--json", str(FIXTURES / "r004_scheduling.py"))
         assert proc.returncode == 1
         payload = json.loads(proc.stdout)
-        assert payload["version"] == 1
+        assert payload["schema_version"] == 2
+        assert payload["tool"]["name"] == "repro-analysis"
         assert payload["files"] == 1
         assert payload["ok"] is False
         assert payload["counts"] == {"R004": 1}
+        assert payload["suppressed"] == 0
         (violation,) = payload["violations"]
         assert set(violation) == {
-            "rule", "path", "line", "col", "message", "waived", "waiver_reason",
+            "rule", "path", "line", "col", "message", "waived",
+            "waiver_reason", "suppressed", "fingerprint",
         }
         assert violation["rule"] == "R004"
+        assert len(violation["fingerprint"]) == 16
+
+    def test_json_round_trips_through_reader(self):
+        from repro.analysis.engine import load_report_dict
+
+        proc = _cli("--json", str(FIXTURES / "r004_scheduling.py"))
+        doc = load_report_dict(json.loads(proc.stdout))
+        assert doc["counts"] == {"R004": 1}
 
     def test_select_flag(self):
         proc = _cli("--select", "R002,R003", str(FIXTURES / "r001_units.py"))

@@ -27,6 +27,8 @@ def make_doc(wall_s=0.5, rps=1000.0, read_us=100.0, *, quick=True):
         "created": "2026-01-01T00:00:00Z",
         "quick": quick,
         "repeat": 1,
+        "python": "3.11.0",
+        "platform": "test-host",
         "scenarios": {
             "mix2_shared": {
                 "kind": "simulator",
