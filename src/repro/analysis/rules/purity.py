@@ -100,6 +100,9 @@ class OptInPurityRule(Rule):
         # must honour the same opt-in contract it observes
         "repro.obs.critpath",
         "repro.obs.whatif",
+        # the fleet plane wires opt-in device bundles together and must
+        # honour the same contract for every handle it touches
+        "repro.obs.fleet",
     )
 
     def check(self, module) -> Iterator:

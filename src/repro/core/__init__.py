@@ -23,6 +23,7 @@ from .drift import DriftConfig, DriftDetector, DriftEvent
 from .evaluation import QualityReport, evaluate_learner, holdout_samples
 from .features import N_INTENSITY_LEVELS, FeaturesCollector, FeatureVector, features_of_mix
 from .hybrid import PagePolicy, page_modes_for
+from .fleethandle import KeeperHandle
 from .keeper import KeeperDecision, KeeperRun, PeriodicRun, SSDKeeper
 from .online import (
     ReplayBuffer,
@@ -78,6 +79,7 @@ __all__ = [
     "KeeperRun",
     "PeriodicRun",
     "SSDKeeper",
+    "KeeperHandle",
     "DriftConfig",
     "DriftDetector",
     "DriftEvent",

@@ -1,0 +1,121 @@
+"""Per-device keeper handle for fleet composition.
+
+A fleet runs one SSDKeeper-shaped decision maker per device, but fleet
+scenarios must stay cheap and deterministic even when no trained model is
+available.  :class:`KeeperHandle` is the thin per-device surface the fleet
+observability plane reads: it owns the device's current channel allocation,
+optionally wraps a live :class:`~repro.core.allocator.ChannelAllocator`
+(running the same ``prediction_health`` probe + graceful-fallback protocol
+as :class:`~repro.core.keeper.SSDKeeper`), and publishes its health into
+the device's metrics registry so :class:`repro.obs.fleet.FleetRegistry`
+can roll device health up fleet-wide.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+__all__ = ["KeeperHandle"]
+
+
+class KeeperHandle:
+    """One device's keeper state, as seen by the fleet.
+
+    Parameters
+    ----------
+    device_id:
+        index of the device in the fleet.
+    channel_sets:
+        the allocation currently deployed on the device
+        (workload id -> channel list).
+    allocator:
+        optional live :class:`~repro.core.allocator.ChannelAllocator`.
+        Without one the handle is a static keeper: it keeps the deployed
+        allocation, reports healthy, and never falls back.
+    strategy_label:
+        paper-style label of the deployed strategy (``"Shared"``, ``"7:1"``,
+        ...) — carried into fleet reports.
+    """
+
+    __slots__ = (
+        "device_id", "channel_sets", "allocator", "strategy_label",
+        "decisions", "fallbacks", "healthy", "last_problem",
+    )
+
+    def __init__(
+        self,
+        device_id: int,
+        channel_sets: Mapping[int, Sequence[int]],
+        *,
+        allocator=None,
+        strategy_label: str = "Shared",
+    ) -> None:
+        if device_id < 0:
+            raise ValueError("device_id must be non-negative")
+        if not channel_sets:
+            raise ValueError("channel_sets must name at least one workload")
+        self.device_id = device_id
+        self.channel_sets = {wid: list(chs) for wid, chs in channel_sets.items()}
+        self.allocator = allocator
+        self.strategy_label = strategy_label
+        #: number of allocation decisions taken (0 for a static handle)
+        self.decisions = 0
+        #: number of decisions that fell back to the deployed allocation
+        #: because the model failed its health probe
+        self.fallbacks = 0
+        #: last health-probe verdict (True until a probe fails)
+        self.healthy = True
+        #: the most recent health-probe problem string, if any
+        self.last_problem: str | None = None
+
+    def decide(self, features) -> Mapping[int, Sequence[int]]:
+        """Run one allocation decision; returns the (possibly new) sets.
+
+        Mirrors the keeper's inference protocol: probe
+        ``prediction_health`` first and keep the deployed allocation on
+        any problem (graceful fallback), otherwise deploy the model's
+        choice.  A static handle (no allocator) always keeps its sets.
+        """
+        self.decisions += 1
+        if self.allocator is None:
+            return self.channel_sets
+        problem = self.allocator.prediction_health(features)
+        if problem is not None:
+            self.fallbacks += 1
+            self.healthy = False
+            self.last_problem = problem
+            return self.channel_sets
+        self.healthy = True
+        strategy = self.allocator.allocate(features)
+        self.strategy_label = strategy.label
+        self.channel_sets = {
+            wid: list(chs)
+            for wid, chs in strategy.channel_sets(
+                self.allocator.space.n_channels, features.write_dominated()
+            ).items()
+        }
+        return self.channel_sets
+
+    def publish(self, registry) -> None:
+        """Publish keeper health into a device metrics registry.
+
+        Emits ``keeper.prediction_healthy`` (1.0/0.0), the
+        ``keeper.fallbacks`` counter and ``keeper.decisions`` — the
+        gauges :class:`repro.obs.fleet.FleetRegistry` folds into
+        per-device health.
+        """
+        registry.gauge("keeper.prediction_healthy").set(
+            1.0 if self.healthy else 0.0
+        )
+        registry.counter("keeper.fallbacks").value = self.fallbacks
+        registry.counter("keeper.decisions").value = self.decisions
+
+    def summary(self) -> dict:
+        """Deterministic dict for fleet reports."""
+        return {
+            "device": self.device_id,
+            "strategy": self.strategy_label,
+            "decisions": self.decisions,
+            "fallbacks": self.fallbacks,
+            "healthy": self.healthy,
+        }

@@ -25,6 +25,10 @@ counts differ — so the comparison refuses mismatched files).
 ``--update-baseline`` writes the current run to the baseline path
 (default ``benchmarks/baseline.json``) instead of comparing, so a
 deliberate perf change refreshes the tripwire in one command.
+``--trajectory [DIR]`` skips running entirely and renders the perf
+history instead: every committed ``BENCH_*.json`` under DIR (default
+``benchmarks/``) in timestamp order, with per-scenario wall-clock and
+simulated-latency deltas between consecutive comparable runs.
 """
 
 from __future__ import annotations
@@ -45,6 +49,8 @@ __all__ = [
     "run_bench",
     "run_scenario",
     "load_bench",
+    "load_trajectory",
+    "format_trajectory",
     "compare",
     "write_bench",
     "main",
@@ -449,6 +455,86 @@ def write_bench(doc: dict, out_dir) -> Path:
 
 
 # ----------------------------------------------------------------------
+# Perf trajectory across committed BENCH_*.json files
+# ----------------------------------------------------------------------
+#: per-scenario metrics the trajectory view tracks between runs
+_TRAJECTORY_METRICS = ("wall_s", "sim_mean_read_us", "sim_mean_write_us")
+
+
+def load_trajectory(bench_dir) -> list[dict]:
+    """Load every ``BENCH_*.json`` under ``bench_dir`` in timestamp order.
+
+    Each entry is ``{"name": filename, "doc": validated document}``;
+    ordering follows the documents' ``created`` stamps (ties broken by
+    filename), so the list reads as the repo's perf history.  Files that
+    fail :func:`load_bench` validation raise — a committed benchmark
+    must stay readable.
+    """
+    runs = []
+    for path in sorted(Path(bench_dir).glob("BENCH_*.json")):
+        with open(path, encoding="utf-8") as fh:
+            doc = json.load(fh)
+        load_bench(doc, side=path.name)
+        runs.append({"name": path.name, "doc": doc})
+    runs.sort(key=lambda run: (run["doc"]["created"], run["name"]))
+    return runs
+
+
+def _delta_pct(base: float, value: float) -> "float | None":
+    if not base:
+        return None
+    return (value - base) / base * 100.0
+
+
+def format_trajectory(runs: list[dict]) -> str:
+    """Human-readable perf trajectory with deltas between consecutive runs.
+
+    For each consecutive pair of comparable runs (same quick/full size)
+    every shared scenario shows wall-clock and simulated-latency deltas;
+    incomparable neighbours (a ``--quick`` run next to a full one) are
+    listed but not diffed.
+    """
+    if not runs:
+        return "no BENCH_*.json files found"
+    lines = []
+    for i, run in enumerate(runs):
+        doc = run["doc"]
+        size = "quick" if doc.get("quick") else "full"
+        lines.append(
+            f"{i}: {run['name']}  ({size}, created {doc['created']}, "
+            f"python {doc.get('python', '?')})"
+        )
+    for prev, curr in zip(runs, runs[1:]):
+        lines.append("")
+        header = f"{prev['name']} -> {curr['name']}"
+        if bool(prev["doc"].get("quick")) != bool(curr["doc"].get("quick")):
+            lines.append(f"{header}: incomparable (quick/full size mismatch)")
+            continue
+        lines.append(header)
+        prev_scen = prev["doc"].get("scenarios", {})
+        curr_scen = curr["doc"].get("scenarios", {})
+        shared = [name for name in curr_scen if name in prev_scen]
+        if not shared:
+            lines.append("  (no shared scenarios)")
+            continue
+        for name in shared:
+            cells = []
+            for metric in _TRAJECTORY_METRICS:
+                base = prev_scen[name].get("metrics", {}).get(metric)
+                value = curr_scen[name].get("metrics", {}).get(metric)
+                if base is None or value is None:
+                    continue
+                delta = _delta_pct(base, value)
+                delta_text = f"{delta:+.1f}%" if delta is not None else "n/a"
+                cells.append(f"{metric} {base:.4g}->{value:.4g} ({delta_text})")
+            lines.append(f"  {name:<16} " + "  ".join(cells))
+        only_new = sorted(set(curr_scen) - set(prev_scen))
+        if only_new:
+            lines.append(f"  new scenarios: {', '.join(only_new)}")
+    return "\n".join(lines)
+
+
+# ----------------------------------------------------------------------
 # Baseline comparison
 # ----------------------------------------------------------------------
 @dataclass(frozen=True)
@@ -603,9 +689,35 @@ def main(argv: list[str] | None = None) -> int:
         action="store_true",
         help="print the full result document to stdout as JSON",
     )
+    parser.add_argument(
+        "--trajectory",
+        nargs="?",
+        const="benchmarks",
+        default=None,
+        metavar="DIR",
+        help="do not run the suite: list committed BENCH_*.json under DIR "
+        "(default benchmarks/) in timestamp order with per-scenario "
+        "wall-clock and simulated-latency deltas between consecutive runs",
+    )
     args = parser.parse_args(argv)
     if args.repeat < 1:
         parser.error("--repeat must be >= 1")
+
+    if args.trajectory is not None:
+        try:
+            runs = load_trajectory(args.trajectory)
+        except (OSError, ValueError, json.JSONDecodeError) as exc:
+            print(f"repro bench: cannot read trajectory: {exc}",
+                  file=sys.stderr)
+            return 2
+        if args.json:
+            print(json.dumps(
+                [{"name": r["name"], "doc": r["doc"]} for r in runs],
+                indent=2, sort_keys=True,
+            ))
+        else:
+            print(format_trajectory(runs))
+        return 0
 
     slo = None
     if args.slo is not None:

@@ -19,6 +19,9 @@ Usage::
     python -m repro profile --scenario gc_heavy --top 25
     python -m repro drift --scenario migrating_hotspot --sanitize
     python -m repro drift --scenario phase_change --poison --json
+    python -m repro fleet --devices 3 --tenants 6 --seed 7
+    python -m repro fleet --quick --slo-tight --out fleet_report.json
+    python -m repro bench --trajectory
 
 Each experiment prints its regenerated table; expensive artifacts are
 cached under ``.repro-cache`` exactly as in the benches.  ``stats`` runs
@@ -45,6 +48,10 @@ tenant scenario through the hardened adaptive keeper and the one-shot
 paper keeper side by side (:mod:`repro.harness.driftlab`): drift
 detections, guarded retrains with promote-or-rollback outcomes, and the
 latency comparison, all seeded and byte-identical across invocations.
+``fleet`` runs a seeded N-device, M-tenant scenario under the fleet
+observability plane (:mod:`repro.harness.fleetlab`): federated metric
+rollups, ``tenant_migration`` trace spans, fleet-level SLO burn-rate
+alerting, and a deterministic schema-versioned ``fleet_report.json``.
 """
 
 from __future__ import annotations
@@ -403,6 +410,10 @@ def main(argv: list[str] | None = None) -> int:
         from .driftlab import main as drift_main
 
         return drift_main(argv[1:])
+    if argv and argv[0] == "fleet":
+        from .fleetlab import main as fleet_main
+
+        return fleet_main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Regenerate SSDKeeper paper tables and figures.",
@@ -418,7 +429,8 @@ def main(argv: list[str] | None = None) -> int:
         "'repro explain' reconstructs a scenario's critical path and sweeps "
         "exact counterfactuals; 'repro profile' cProfiles its host hot paths; "
         "'repro drift' runs the adaptive keeper against adversarial tenant "
-        "scenarios)",
+        "scenarios; 'repro fleet' runs a seeded multi-device scenario with "
+        "fleet-level observability rollups)",
     )
     parser.add_argument(
         "--scale",

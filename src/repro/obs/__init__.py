@@ -52,6 +52,18 @@ from .critpath import (
     CritPathError,
     extract_critical_path,
 )
+from .fleet import (
+    FLEET_SCHEMA_VERSION,
+    FleetObserver,
+    FleetRegistry,
+    FleetSloAlert,
+    FleetSloRollup,
+    build_fleet_report,
+    device_health,
+    load_fleet,
+    merge_histograms,
+    write_fleet_report,
+)
 from .flightrecorder import FLIGHT_SCHEMA_VERSION, FlightRecorder
 from .profiler import UtilizationProfiler
 from .registry import DEFAULT_LATENCY_BUCKETS_US, Counter, Gauge, Histogram, MetricsRegistry, Series
@@ -78,6 +90,16 @@ __all__ = [
     "SloWatchdog",
     "FlightRecorder",
     "FLIGHT_SCHEMA_VERSION",
+    "FLEET_SCHEMA_VERSION",
+    "FleetObserver",
+    "FleetRegistry",
+    "FleetSloAlert",
+    "FleetSloRollup",
+    "build_fleet_report",
+    "device_health",
+    "load_fleet",
+    "merge_histograms",
+    "write_fleet_report",
     "AttributionCollector",
     "AttributionError",
     "LatencyBreakdown",

@@ -14,16 +14,29 @@ a **sim** process.  ``process_name`` / ``process_sort_index`` /
 ``thread_name`` metadata records label every row — Perfetto shows
 "tenant 0" and "channel 3", not bare pids and tids.  Timestamps are
 already in microseconds — exactly the unit the format expects.
+
+Multi-device exports namespace pids per device: passing ``device=N`` to
+:func:`to_chrome_trace` shifts every pid by a per-device stride and
+prefixes process names (``device 0 / channels``), so two devices'
+channel rows never collide on pid when merged into one file.
+:func:`to_fleet_chrome_trace` merges per-device streams plus an optional
+fleet-level stream (migration spans, fleet SLO alerts) into one
+document — Perfetto then shows one process group per device.
 """
 
 from __future__ import annotations
 
 import json
-from typing import Iterable
+from typing import Iterable, Mapping
 
 from .trace import TraceEvent
 
-__all__ = ["to_chrome_trace", "write_chrome_trace"]
+__all__ = [
+    "to_chrome_trace",
+    "to_fleet_chrome_trace",
+    "write_chrome_trace",
+    "write_fleet_chrome_trace",
+]
 
 #: track-prefix -> (pid, process name, thread-name template); matched in
 #: order, first hit wins ("host" before "w" keeps "host" out of "w*").
@@ -35,6 +48,14 @@ _GROUPS = (
 )
 _FALLBACK_PID = 4
 _FALLBACK_PROCESS = "sim"
+
+#: pid distance between consecutive devices in a merged trace; device
+#: ``d`` occupies pids ``(d + 1) * stride + 1 .. + 4``, leaving the
+#: un-namespaced pids 1..4 (solo exports) and the fleet pid untouched.
+_DEVICE_PID_STRIDE = 10
+
+#: process id of the fleet-level row group in merged traces
+_FLEET_PID = 1
 
 
 def _classify(track: str) -> tuple[int, str, str]:
@@ -57,9 +78,60 @@ def _track_order(track: str) -> tuple:
     return (len(_GROUPS), 0, track)
 
 
-def to_chrome_trace(events: Iterable[TraceEvent]) -> dict:
-    """Build the ``{"traceEvents": [...]}`` document (plain dict)."""
-    events = list(events)
+def _process_meta(pid: int, process: str) -> list[dict]:
+    return [
+        {
+            "ph": "M",
+            "pid": pid,
+            "tid": 0,
+            "name": "process_name",
+            "args": {"name": process},
+        },
+        {
+            "ph": "M",
+            "pid": pid,
+            "tid": 0,
+            "name": "process_sort_index",
+            "args": {"sort_index": pid},
+        },
+    ]
+
+
+def _event_record(e: TraceEvent, pid: int, tid: int) -> dict:
+    record = {
+        "name": e.name,
+        "cat": e.cat,
+        "pid": pid,
+        "tid": tid,
+        "ts": e.ts_us,
+    }
+    if e.args:
+        record["args"] = e.args
+    if e.dur_us is not None:
+        record["ph"] = "X"
+        record["dur"] = e.dur_us
+    else:
+        record["ph"] = "i"
+        record["s"] = "t"  # instant scoped to its thread row
+    return record
+
+
+def _trace_records(
+    events: list[TraceEvent], *, device: int | None = None
+) -> list[dict]:
+    """Metadata + event records for one device's stream.
+
+    ``device`` namespaces pids (per-device stride) and prefixes process
+    names so multiple devices coexist in one trace file; ``None`` keeps
+    the classic solo pids 1..4.
+    """
+    pid_offset = 0
+    name_prefix = ""
+    if device is not None:
+        if device < 0:
+            raise ValueError("device must be non-negative")
+        pid_offset = (device + 1) * _DEVICE_PID_STRIDE
+        name_prefix = f"device {device} / "
     tracks = sorted({e.track or "sim" for e in events}, key=_track_order)
     pids: dict[str, int] = {}
     names: dict[str, str] = {}
@@ -68,33 +140,17 @@ def to_chrome_trace(events: Iterable[TraceEvent]) -> dict:
     next_tid: dict[int, int] = {}
     for track in tracks:
         pid, process, thread_name = _classify(track)
+        pid += pid_offset
         pids[track] = pid
         names[track] = thread_name
-        processes.setdefault(pid, process)
+        processes.setdefault(pid, name_prefix + process)
         tid = next_tid.get(pid, 0) + 1
         next_tid[pid] = tid
         tids[track] = tid
 
     out: list[dict] = []
     for pid, process in sorted(processes.items()):
-        out.append(
-            {
-                "ph": "M",
-                "pid": pid,
-                "tid": 0,
-                "name": "process_name",
-                "args": {"name": process},
-            }
-        )
-        out.append(
-            {
-                "ph": "M",
-                "pid": pid,
-                "tid": 0,
-                "name": "process_sort_index",
-                "args": {"sort_index": pid},
-            }
-        )
+        out.extend(_process_meta(pid, process))
     out.extend(
         {
             "ph": "M",
@@ -105,30 +161,96 @@ def to_chrome_trace(events: Iterable[TraceEvent]) -> dict:
         }
         for track, tid in tids.items()
     )
-    for e in events:
-        track = e.track or "sim"
-        record = {
-            "name": e.name,
-            "cat": e.cat,
-            "pid": pids[track],
-            "tid": tids[track],
-            "ts": e.ts_us,
+    out.extend(
+        _event_record(e, pids[e.track or "sim"], tids[e.track or "sim"])
+        for e in events
+    )
+    return out
+
+
+def _grouped_records(
+    events: list[TraceEvent], pid: int, process: str
+) -> list[dict]:
+    """One process row group holding every track of ``events`` as threads.
+
+    Used for the fleet-level stream (migration spans, fleet alerts):
+    tracks become thread rows named verbatim under a single process.
+    """
+    tracks = sorted({e.track or process for e in events}, key=_track_order)
+    tids = {track: i + 1 for i, track in enumerate(tracks)}
+    out = _process_meta(pid, process)
+    out.extend(
+        {
+            "ph": "M",
+            "pid": pid,
+            "tid": tid,
+            "name": "thread_name",
+            "args": {"name": track},
         }
-        if e.args:
-            record["args"] = e.args
-        if e.dur_us is not None:
-            record["ph"] = "X"
-            record["dur"] = e.dur_us
-        else:
-            record["ph"] = "i"
-            record["s"] = "t"  # instant scoped to its thread row
-        out.append(record)
-    return {"traceEvents": out, "displayTimeUnit": "ms"}
+        for track, tid in tids.items()
+    )
+    out.extend(
+        _event_record(e, pid, tids[e.track or process]) for e in events
+    )
+    return out
 
 
-def write_chrome_trace(events: Iterable[TraceEvent], path) -> int:
+def to_chrome_trace(
+    events: Iterable[TraceEvent], *, device: int | None = None
+) -> dict:
+    """Build the ``{"traceEvents": [...]}`` document (plain dict).
+
+    ``device`` namespaces the pids for merged multi-device files; the
+    default export is unchanged.
+    """
+    return {
+        "traceEvents": _trace_records(list(events), device=device),
+        "displayTimeUnit": "ms",
+    }
+
+
+def to_fleet_chrome_trace(
+    device_events: Mapping[int, Iterable[TraceEvent]],
+    *,
+    fleet_events: Iterable[TraceEvent] | None = None,
+) -> dict:
+    """Merge per-device streams (plus a fleet stream) into one document.
+
+    Each device's tracks occupy their own pid-namespaced process group
+    (one row group per device in Perfetto); fleet-level events — the
+    ``tenant_migration`` spans and ``fleet_slo_alert`` instants — sit in
+    a dedicated ``fleet`` process at the top.
+    """
+    records: list[dict] = []
+    if fleet_events is not None:
+        fleet_list = list(fleet_events)
+        if fleet_list:
+            records.extend(_grouped_records(fleet_list, _FLEET_PID, "fleet"))
+    for dev in sorted(device_events):
+        records.extend(
+            _trace_records(list(device_events[dev]), device=dev)
+        )
+    return {"traceEvents": records, "displayTimeUnit": "ms"}
+
+
+def write_chrome_trace(
+    events: Iterable[TraceEvent], path, *, device: int | None = None
+) -> int:
     """Write the Chrome-trace JSON to ``path``; returns the event count."""
-    doc = to_chrome_trace(events)
+    doc = to_chrome_trace(events, device=device)
+    with open(path, "w") as fh:
+        json.dump(doc, fh)
+    return len(doc["traceEvents"])
+
+
+def write_fleet_chrome_trace(
+    device_events: Mapping[int, Iterable[TraceEvent]],
+    path,
+    *,
+    fleet_events: Iterable[TraceEvent] | None = None,
+) -> int:
+    """Write a merged multi-device trace; returns the record count."""
+    doc = to_fleet_chrome_trace(device_events, fleet_events=fleet_events)
     with open(path, "w") as fh:
         json.dump(doc, fh)
     return len(doc["traceEvents"])

@@ -50,6 +50,8 @@ EVENT_NAMES = (
     "gc_end",
     "keeper_switch",
     "slo_alert",
+    "tenant_migration",
+    "fleet_slo_alert",
 )
 
 

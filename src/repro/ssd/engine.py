@@ -18,7 +18,7 @@ import heapq
 from itertools import count
 from typing import Callable
 
-__all__ = ["EventLoop", "Resource", "PRIO_READ", "PRIO_GC", "PRIO_WRITE"]
+__all__ = ["ComposedLoop", "EventLoop", "Resource", "PRIO_READ", "PRIO_GC", "PRIO_WRITE"]
 
 PRIO_READ = 0
 PRIO_GC = 1
@@ -96,6 +96,42 @@ class EventLoop:
         """Number of pending events that keep the loop alive."""
         return len(self._heap) - self._weak_pending
 
+    def peek_when(self) -> float | None:
+        """Absolute time of the next pending event, or ``None`` when empty."""
+        if not self._heap:
+            return None
+        return self._heap[0][0]
+
+    def step(self) -> bool:
+        """Dispatch exactly one pending event (weak or strong).
+
+        Returns ``True`` when an event was dispatched.  Unlike :meth:`run`
+        this does not apply the weak-only drop rule — composition drivers
+        (see :class:`ComposedLoop`) decide when a member is dormant.
+        """
+        if not self._heap:
+            return False
+        when, _, callback, weak = heapq.heappop(self._heap)
+        if weak:
+            self._weak_pending -= 1
+        if self.sanitizer is not None:
+            self.sanitizer.on_event(when, self.now)
+        self.now = when
+        self.events_processed += 1
+        callback()
+        return True
+
+    def discard_weak(self) -> None:
+        """Drop all remaining events if only weak ones remain.
+
+        Mirrors the tail behaviour of an unbounded :meth:`run`: trailing
+        samplers are discarded without dispatch so ``now`` stays at the
+        last strong event.  A no-op while strong work is still pending.
+        """
+        if self._heap and self._weak_pending == len(self._heap):
+            self._heap.clear()
+            self._weak_pending = 0
+
     def run(self, until: float | None = None) -> None:
         """Process events until the heap drains (or ``until`` is reached).
 
@@ -108,20 +144,74 @@ class EventLoop:
                 self._heap.clear()
                 self._weak_pending = 0
                 break
-            when, _, callback, weak = self._heap[0]
+            when = self._heap[0][0]  # repro-lint: disable=R001 (heap entries are (when, seq, fn); when is microseconds by the DES contract)
             if until is not None and when > until:
                 break
-            heapq.heappop(self._heap)
-            if weak:
-                self._weak_pending -= 1
-            if self.sanitizer is not None:
-                self.sanitizer.on_event(when, self.now)
-            self.now = when
-            self.events_processed += 1
-            callback()
+            self.step()
 
     def __bool__(self) -> bool:
         return bool(self._heap)
+
+
+class ComposedLoop:
+    """Deterministically interleave several :class:`EventLoop` members.
+
+    Each member keeps its own clock (``loop.now`` stays a per-device
+    makespan), but dispatch order is global: the driver repeatedly picks
+    the *active* member whose next event is earliest — ties broken by
+    member index, so composition is fully deterministic — and dispatches
+    exactly one event via :meth:`EventLoop.step`.
+
+    A member whose heap holds only weak events is *dormant*: it is skipped
+    rather than drained, exactly replicating the single-loop rule that
+    samplers never extend a makespan.  If a later event on another member
+    schedules strong work onto a dormant member (e.g. a tenant migration),
+    the member wakes and its pending weak ticks dispatch first in its own
+    time order, so telemetry metronomes revive naturally.  When every
+    member is dormant or empty the run ends and trailing weak events are
+    discarded on all members.
+    """
+
+    def __init__(self, loops: list[EventLoop] | tuple[EventLoop, ...]) -> None:
+        if not loops:
+            raise ValueError("ComposedLoop needs at least one member loop")
+        self.loops = list(loops)
+        #: furthest simulated time any member has reached.
+        self.now = 0.0
+        self.events_processed = 0
+
+    def _next_active(self) -> EventLoop | None:
+        best = None
+        best_when = 0.0
+        for loop in self.loops:
+            if loop.pending_strong == 0:
+                continue
+            when = loop._heap[0][0]  # repro-lint: disable=R001 (heap entries are (when, seq, fn); when is microseconds by the DES contract)
+            if best is None or when < best_when:
+                best = loop
+                best_when = when
+        return best
+
+    def step(self) -> bool:
+        """Dispatch one event on the earliest active member; False when done."""
+        member = self._next_active()
+        if member is None:
+            return False
+        member.step()
+        if member.now > self.now:
+            self.now = member.now
+        self.events_processed += 1
+        return True
+
+    def run(self) -> None:
+        """Run members to global quiescence, then drop trailing weak events."""
+        while self.step():
+            pass
+        for loop in self.loops:
+            loop.discard_weak()
+
+    def __bool__(self) -> bool:
+        return any(loop.pending_strong for loop in self.loops)
 
 
 class Resource:

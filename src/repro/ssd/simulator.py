@@ -87,8 +87,10 @@ class SSDSimulator:
         *,
         record_latencies: bool = False,
         on_submit=None,
+        on_complete=None,
         read_priority: bool = False,
         buffer: "BufferConfig | None" = None,
+        loop: "EventLoop | None" = None,
         obs=None,
         faults: "FaultConfig | FaultInjector | None" = None,
         sanitizer=None,
@@ -97,10 +99,17 @@ class SSDSimulator:
         #: optional callback fired with each request at its submission time
         #: (the hook the SSDKeeper features collector attaches to).
         self.on_submit = on_submit
+        #: optional callback fired with each request when its last page
+        #: completes (failed reads included) — the hook fleet migration
+        #: spans and conservation accounting attach to.
+        self.on_complete = on_complete
         #: queue discipline: FIFO (SSDSim-faithful) unless reads may overtake
         self._read_prio = PRIO_READ if read_priority else PRIO_WRITE
         self.times = ServiceTimes.from_config(config)
-        self.loop = EventLoop()
+        #: the device's own clock.  A caller may pass a pre-built loop so a
+        #: :class:`~repro.ssd.engine.ComposedLoop` can interleave several
+        #: devices; behaviour is identical to the self-owned default.
+        self.loop = loop if loop is not None else EventLoop()
         self.channels = [
             Resource(self.loop, name=f"ch{c}", kind="channel")
             for c in range(config.channels)
@@ -215,23 +224,53 @@ class SSDSimulator:
         return self.channels[self.controller.geometry.channel_of(ppn)]
 
     # ------------------------------------------------------------------
-    def run(self, requests: Iterable[IORequest]) -> SimulationResult:
-        """Simulate ``requests`` (any order; sorted internally) to completion."""
-        ordered = sorted(requests, key=lambda r: r.arrival_us)
-        for req in ordered:
-            # trace arrival timestamps are absolute simulated times
-            self.loop.schedule(req.arrival_us, self._make_submit(req))  # repro-lint: disable=R004 (trace arrivals are absolute times)
+    def submit(self, req: IORequest) -> None:
+        """Submit one request at the loop's *current* time.
+
+        The caller is responsible for having advanced ``self.loop`` to the
+        request's arrival time (a fleet does this by bouncing arrivals
+        through a device-loop event); trace-driven solo runs should use
+        :meth:`run`, which schedules arrivals itself.
+        """
+        self._make_submit(req)()
+
+    def arm_observers(self) -> None:
+        """Attach the profiler/telemetry samplers to this device's loop.
+
+        Called by :meth:`prepare` for solo runs; a fleet calls it directly
+        because fleet arrivals reach the device after preparation.  All
+        samplers ride weak loop events, so arming never perturbs the run.
+        """
         obs = self.obs
-        if obs is not None and obs.utilization_interval_us is not None and ordered:
+        if obs is not None and obs.utilization_interval_us is not None:
             from ..obs.profiler import UtilizationProfiler
 
             obs.profiler = UtilizationProfiler(obs.utilization_interval_us)
             obs.profiler.attach(self.loop, self.channels, self.dies)
-        if self._telemetry is not None and ordered:
+        if self._telemetry is not None:
             self._telemetry.attach(
                 self.loop, self._registry,
                 channels=self.channels, dies=self.dies,
             )
+
+    def prepare(self, requests: Iterable[IORequest]) -> int:
+        """Schedule ``requests`` at their arrival times; arm the samplers.
+
+        Returns the number of requests scheduled.  Together with
+        :meth:`collect` this is the decomposed form of :meth:`run` used by
+        fleet composition.
+        """
+        ordered = sorted(requests, key=lambda r: r.arrival_us)
+        for req in ordered:
+            # trace arrival timestamps are absolute simulated times
+            self.loop.schedule(req.arrival_us, self._make_submit(req))  # repro-lint: disable=R004 (trace arrivals are absolute times)
+        if ordered:
+            self.arm_observers()
+        return len(ordered)
+
+    def run(self, requests: Iterable[IORequest]) -> SimulationResult:
+        """Simulate ``requests`` (any order; sorted internally) to completion."""
+        self.prepare(requests)
         try:
             self.loop.run()
         except Exception as exc:
@@ -244,6 +283,16 @@ class SSDSimulator:
                     trigger, detail=str(exc), time_us=self.loop.now
                 )
             raise
+        return self.collect()
+
+    def collect(self) -> SimulationResult:
+        """Flush samplers and assemble the :class:`SimulationResult`.
+
+        Requires the device's loop to have drained (every in-flight
+        request completed); fleet composition calls this once the composed
+        loop reaches global quiescence.
+        """
+        obs = self.obs
         if obs is not None and obs.profiler is not None:
             # flush the final partial window so the series covers the run
             obs.profiler.flush()
@@ -616,6 +665,8 @@ class SSDSimulator:
             self.requests_done += 1
             if self._registry is not None:
                 self._registry.counter("sim.requests").inc()
+            if self.on_complete is not None:
+                self.on_complete(req)
 
 
 def simulate(

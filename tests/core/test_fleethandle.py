@@ -1,0 +1,111 @@
+"""Per-device keeper handle: static sets, fallback protocol, publishing."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    ChannelAllocator,
+    Dataset,
+    FeatureVector,
+    KeeperHandle,
+    StrategyLearner,
+    StrategySpace,
+)
+from repro.obs.registry import MetricsRegistry
+
+
+@pytest.fixture
+def trained_allocator(rng):
+    space = StrategySpace(8, 4)
+    rows, labels = [], []
+    for _ in range(120):
+        fv = FeatureVector(
+            int(rng.integers(0, 20)),
+            tuple(int(rng.integers(0, 2)) for _ in range(4)),
+            tuple(rng.dirichlet(np.ones(4))),
+        )
+        rows.append(fv.to_array())
+        labels.append(0 if fv.intensity_level < 10 else 1)
+    ds = Dataset(features=np.vstack(rows), labels=np.array(labels), n_classes=42)
+    learner = StrategyLearner(space, seed=0)
+    learner.train(ds, iterations=40, seed=0)
+    return ChannelAllocator(learner)
+
+
+SETS = {0: [0, 1, 2, 3], 1: [4, 5, 6, 7]}
+
+
+class TestStaticHandle:
+    def test_validates_arguments(self):
+        with pytest.raises(ValueError):
+            KeeperHandle(-1, SETS)
+        with pytest.raises(ValueError):
+            KeeperHandle(0, {})
+
+    def test_copies_channel_sets(self):
+        source = {0: [0, 1]}
+        handle = KeeperHandle(0, source)
+        source[0].append(7)
+        assert handle.channel_sets == {0: [0, 1]}
+
+    def test_static_decide_keeps_sets_and_counts(self):
+        handle = KeeperHandle(0, SETS)
+        assert handle.decide(None) == SETS
+        assert handle.decide(None) == SETS
+        assert handle.decisions == 2
+        assert handle.fallbacks == 0
+        assert handle.healthy
+
+    def test_publish_lands_health_metrics(self):
+        registry = MetricsRegistry()
+        handle = KeeperHandle(3, SETS)
+        handle.decide(None)
+        handle.publish(registry)
+        snap = registry.snapshot()
+        assert snap["gauges"]["keeper.prediction_healthy"] == 1.0
+        assert snap["counters"]["keeper.fallbacks"] == 0
+        assert snap["counters"]["keeper.decisions"] == 1
+
+    def test_summary_shape(self):
+        handle = KeeperHandle(2, SETS, strategy_label="7:1")
+        assert handle.summary() == {
+            "device": 2,
+            "strategy": "7:1",
+            "decisions": 0,
+            "fallbacks": 0,
+            "healthy": True,
+        }
+
+
+class TestAllocatorBackedHandle:
+    def test_healthy_probe_deploys_model_choice(self, trained_allocator):
+        handle = KeeperHandle(0, SETS, allocator=trained_allocator)
+        fv = FeatureVector(5, (0, 1, 0, 1), (0.25, 0.25, 0.25, 0.25))
+        sets = handle.decide(fv)
+        # the strategy covers the space's tenant count (4 here)
+        assert set(sets) == {0, 1, 2, 3}
+        assert all(chs for chs in sets.values())
+        assert handle.healthy
+        assert handle.fallbacks == 0
+        assert handle.strategy_label != ""
+
+    def test_failed_probe_falls_back_to_deployed_sets(self, trained_allocator):
+        handle = KeeperHandle(0, SETS, allocator=trained_allocator)
+        # a non-finite feature vector is a deterministic probe failure
+        bad = FeatureVector(5, (0, 1, 0, 1), (float("nan"), 0.25, 0.25, 0.25))
+        sets = handle.decide(bad)
+        assert sets == SETS  # graceful fallback keeps the deployed sets
+        assert not handle.healthy
+        assert handle.fallbacks == 1
+        assert handle.last_problem is not None
+
+    def test_fallback_halves_device_health(self, trained_allocator):
+        from repro.obs.fleet import device_health
+
+        registry = MetricsRegistry()
+        handle = KeeperHandle(0, SETS, allocator=trained_allocator)
+        handle.decide(
+            FeatureVector(5, (0, 1, 0, 1), (float("nan"), 0.25, 0.25, 0.25))
+        )
+        handle.publish(registry)
+        assert device_health(registry) == pytest.approx(0.5)

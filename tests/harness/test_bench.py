@@ -350,3 +350,113 @@ class TestSloArming:
                 "window_us": 500.0,
                 "tenants": {"9": {"read_p95_us": 1000.0}},
             })
+
+
+class TestTrajectory:
+    def write_run(self, tmp_path, created, *, quick=False, wall_s=0.5,
+                  read_us=100.0, scenarios=("mix2_shared",)):
+        doc = {
+            "schema_version": SCHEMA_VERSION,
+            "created": created,
+            "quick": quick,
+            "repeat": 1,
+            "python": "3.11.0",
+            "platform": "test-host",
+            "scenarios": {
+                name: {
+                    "kind": "simulator",
+                    "requests": 600,
+                    "metrics": {
+                        "wall_s": wall_s,
+                        "requests_per_s": 1000.0,
+                        "sim_mean_read_us": read_us,
+                        "sim_mean_write_us": read_us * 2,
+                        "sim_total_latency_us": read_us * 1000,
+                    },
+                }
+                for name in scenarios
+            },
+        }
+        stamp = created.replace(":", "").replace("-", "")
+        path = tmp_path / f"BENCH_{stamp}.json"
+        path.write_text(json.dumps(doc))
+        return path
+
+    def test_loads_in_timestamp_order(self, tmp_path):
+        from repro.harness.bench import load_trajectory
+
+        self.write_run(tmp_path, "2026-01-02T00:00:00Z")
+        self.write_run(tmp_path, "2026-01-01T00:00:00Z")
+        runs = load_trajectory(tmp_path)
+        assert [r["doc"]["created"] for r in runs] == [
+            "2026-01-01T00:00:00Z", "2026-01-02T00:00:00Z",
+        ]
+
+    def test_rejects_invalid_committed_file(self, tmp_path):
+        from repro.harness.bench import load_trajectory
+
+        (tmp_path / "BENCH_bad.json").write_text('{"schema_version": 99}')
+        with pytest.raises(ValueError):
+            load_trajectory(tmp_path)
+
+    def test_format_shows_deltas_between_consecutive_runs(self, tmp_path):
+        from repro.harness.bench import format_trajectory, load_trajectory
+
+        self.write_run(tmp_path, "2026-01-01T00:00:00Z", wall_s=1.0,
+                       read_us=100.0)
+        self.write_run(tmp_path, "2026-01-02T00:00:00Z", wall_s=0.5,
+                       read_us=110.0)
+        text = format_trajectory(load_trajectory(tmp_path))
+        assert "-50.0%" in text     # wall-clock halved
+        assert "+10.0%" in text     # read latency drifted up
+        assert "mix2_shared" in text
+
+    def test_format_marks_incomparable_sizes(self, tmp_path):
+        from repro.harness.bench import format_trajectory, load_trajectory
+
+        self.write_run(tmp_path, "2026-01-01T00:00:00Z", quick=True)
+        self.write_run(tmp_path, "2026-01-02T00:00:00Z", quick=False)
+        text = format_trajectory(load_trajectory(tmp_path))
+        assert "incomparable" in text
+
+    def test_format_lists_new_scenarios(self, tmp_path):
+        from repro.harness.bench import format_trajectory, load_trajectory
+
+        self.write_run(tmp_path, "2026-01-01T00:00:00Z")
+        self.write_run(tmp_path, "2026-01-02T00:00:00Z",
+                       scenarios=("mix2_shared", "gc_heavy"))
+        text = format_trajectory(load_trajectory(tmp_path))
+        assert "new scenarios: gc_heavy" in text
+
+    def test_empty_directory(self, tmp_path):
+        from repro.harness.bench import format_trajectory, load_trajectory
+
+        assert format_trajectory(load_trajectory(tmp_path)) == (
+            "no BENCH_*.json files found"
+        )
+
+    def test_cli_trajectory_flag(self, tmp_path, capsys):
+        self.write_run(tmp_path, "2026-01-01T00:00:00Z")
+        self.write_run(tmp_path, "2026-01-02T00:00:00Z")
+        code = main(["--trajectory", str(tmp_path)])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "BENCH_" in out and "->" in out
+
+    def test_cli_trajectory_missing_dir_is_empty(self, tmp_path, capsys):
+        code = main(["--trajectory", str(tmp_path / "nope")])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "no BENCH_*.json files found" in out
+
+    def test_committed_benchmarks_stay_loadable(self):
+        """The repo's own benchmarks/ directory must always parse."""
+        from pathlib import Path
+
+        from repro.harness.bench import load_trajectory
+
+        bench_dir = Path(__file__).resolve().parents[2] / "benchmarks"
+        runs = load_trajectory(bench_dir)
+        assert len(runs) >= 2  # history exists, in order
+        created = [r["doc"]["created"] for r in runs]
+        assert created == sorted(created)
