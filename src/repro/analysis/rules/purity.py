@@ -103,6 +103,9 @@ class OptInPurityRule(Rule):
         # the fleet plane wires opt-in device bundles together and must
         # honour the same contract for every handle it touches
         "repro.obs.fleet",
+        # the differential layer re-simulates with its own handles and
+        # must not regress the opt-in contract while doing so
+        "repro.obs.diff",
     )
 
     def check(self, module) -> Iterator:

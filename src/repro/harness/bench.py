@@ -38,6 +38,7 @@ import json
 import platform
 import sys
 import time
+import warnings
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Callable
@@ -266,7 +267,7 @@ SCENARIOS: dict[str, Callable] = {
 # ----------------------------------------------------------------------
 def run_scenario(
     name: str, *, quick: bool = False, repeat: int = 1,
-    attribution: bool = True, slo=None, flight_dir=None,
+    attribution: bool = True, slo=None, flight_dir=None, baseline_entry=None,
 ) -> dict:
     """Run one scenario ``repeat`` times; best wall-clock is recorded.
 
@@ -279,7 +280,10 @@ def run_scenario(
     (window/alert counts; comparison ignores it, so SLO'd runs stay
     baseline-compatible).  ``flight_dir`` arms a flight recorder under
     ``<flight_dir>/<scenario>``, so a paged regression comes with a
-    reproducible bundle attached.
+    reproducible bundle attached; when ``baseline_entry`` (this
+    scenario's entry from a baseline document) is also given, its
+    attribution phases become the recorder's last-known-good reference,
+    so any bundle carries a ``diff.json`` against the baseline run.
     """
     builder = SCENARIOS[name]
     total = _QUICK_REQUESTS if quick else _FULL_REQUESTS
@@ -316,12 +320,18 @@ def run_scenario(
                 if quick:
                     replay.append("--quick")
                     explain.append("--quick")
+                last_good = None
+                if baseline_entry and baseline_entry.get("attribution"):
+                    last_good = {
+                        "attribution": baseline_entry["attribution"],
+                    }
                 recorder = FlightRecorder(
                     Path(flight_dir) / name,
                     context={"scenario": name, "quick": quick,
                              "requests": len(requests)},
                     replay_argv=replay,
                     explain_argv=explain,
+                    last_good=last_good,
                 )
             obs = Observability(
                 trace=False, attribution=attribution, slo=slo_spec,
@@ -370,6 +380,7 @@ def run_bench(
     scenarios: list[str] | None = None,
     slo=None,
     flight_dir=None,
+    baseline=None,
     log=None,
 ) -> dict:
     """Run the suite; returns the schema-versioned result document."""
@@ -388,10 +399,12 @@ def run_bench(
         "platform": platform.platform(),
         "scenarios": {},
     }
+    baseline_scenarios = (baseline or {}).get("scenarios", {})
     for name in names:
         entry = run_scenario(
             name, quick=quick, repeat=repeat, attribution=attribution,
             slo=slo, flight_dir=flight_dir,
+            baseline_entry=baseline_scenarios.get(name),
         )
         doc["scenarios"][name] = entry
         if log is not None:
@@ -461,20 +474,35 @@ def write_bench(doc: dict, out_dir) -> Path:
 _TRAJECTORY_METRICS = ("wall_s", "sim_mean_read_us", "sim_mean_write_us")
 
 
-def load_trajectory(bench_dir) -> list[dict]:
+def load_trajectory(bench_dir, *, on_skip=None) -> list[dict]:
     """Load every ``BENCH_*.json`` under ``bench_dir`` in timestamp order.
 
     Each entry is ``{"name": filename, "doc": validated document}``;
     ordering follows the documents' ``created`` stamps (ties broken by
     filename), so the list reads as the repo's perf history.  Files that
-    fail :func:`load_bench` validation raise — a committed benchmark
-    must stay readable.
+    cannot be read or fail :func:`load_bench` validation (older schema
+    versions, truncated JSON) are **skipped, not fatal** — the committed
+    history must stay readable as the schema evolves.  Each skip invokes
+    ``on_skip(filename, reason)`` (default: a ``UserWarning``), so silent
+    data loss is impossible.
     """
+    if on_skip is None:
+        def on_skip(name: str, reason: str) -> None:
+            warnings.warn(
+                f"skipping {name}: {reason}", UserWarning, stacklevel=3
+            )
     runs = []
     for path in sorted(Path(bench_dir).glob("BENCH_*.json")):
-        with open(path, encoding="utf-8") as fh:
-            doc = json.load(fh)
-        load_bench(doc, side=path.name)
+        try:
+            with open(path, encoding="utf-8") as fh:
+                doc = json.load(fh)
+            load_bench(doc, side=path.name)
+        except (OSError, json.JSONDecodeError, ValueError) as exc:
+            on_skip(path.name, str(exc))
+            continue
+        if not isinstance(doc.get("created"), str):
+            on_skip(path.name, "document has no usable 'created' stamp")
+            continue
         runs.append({"name": path.name, "doc": doc})
     runs.sort(key=lambda run: (run["doc"]["created"], run["name"]))
     return runs
@@ -605,6 +633,35 @@ def compare(
 
 
 # ----------------------------------------------------------------------
+def _write_forensics(
+    baseline: dict, current: dict, baseline_name: str, out_dir,
+    *, wall_tolerance_pct: float,
+) -> "Path | None":
+    """Emit ``diff_report.json`` next to the bench results on a failure.
+
+    A failing ``--baseline`` check prints *that* something regressed; the
+    forensics report says *where* — per-scenario classified deltas plus
+    the attribution-delta waterfall (which latency phase the time moved
+    into).  CI uploads it alongside the ``BENCH_*.json`` artifact.
+    Failures here never mask the regression exit code.
+    """
+    from ..obs.diff import build_diff_report, diff_bench_docs, write_diff
+
+    try:
+        section = diff_bench_docs(
+            baseline, current, wall_tolerance_pct=wall_tolerance_pct
+        )
+        report = build_diff_report(
+            "bench", baseline_name, "current run", {"bench": section}
+        )
+        return write_diff(report, Path(out_dir) / "diff_report.json")
+    except (OSError, ValueError) as exc:
+        print(f"repro bench: cannot write forensics bundle: {exc}",
+              file=sys.stderr)
+        return None
+
+
+# ----------------------------------------------------------------------
 # CLI
 # ----------------------------------------------------------------------
 def main(argv: list[str] | None = None) -> int:
@@ -704,9 +761,12 @@ def main(argv: list[str] | None = None) -> int:
         parser.error("--repeat must be >= 1")
 
     if args.trajectory is not None:
+        def _skip(name: str, reason: str) -> None:
+            print(f"repro bench: skipping {name}: {reason}", file=sys.stderr)
+
         try:
-            runs = load_trajectory(args.trajectory)
-        except (OSError, ValueError, json.JSONDecodeError) as exc:
+            runs = load_trajectory(args.trajectory, on_skip=_skip)
+        except OSError as exc:
             print(f"repro bench: cannot read trajectory: {exc}",
                   file=sys.stderr)
             return 2
@@ -747,6 +807,7 @@ def main(argv: list[str] | None = None) -> int:
             scenarios=args.scenario,
             slo=slo,
             flight_dir=args.flight_dir,
+            baseline=baseline,
             log=None if args.json else print,
         )
     except KeyError as exc:
@@ -792,6 +853,12 @@ def main(argv: list[str] | None = None) -> int:
             )
             for reg in regressions:
                 print(f"  {reg.describe()}", file=sys.stderr)
+            forensics = _write_forensics(
+                baseline, doc, args.baseline, args.out,
+                wall_tolerance_pct=args.max_regression,
+            )
+            if forensics is not None:
+                print(f"forensics bundle: {forensics}", file=sys.stderr)
             return 1
         print(
             f"baseline check passed (threshold {args.max_regression:g}%, "

@@ -22,6 +22,9 @@ Usage::
     python -m repro fleet --devices 3 --tenants 6 --seed 7
     python -m repro fleet --quick --slo-tight --out fleet_report.json
     python -m repro bench --trajectory
+    python -m repro diff bench BENCH_A.json BENCH_B.json
+    python -m repro diff run --scenario gc_heavy --scale bus_bandwidth=0.5
+    python -m repro diff critpath explain_a.json explain_b.json --out d.json
 
 Each experiment prints its regenerated table; expensive artifacts are
 cached under ``.repro-cache`` exactly as in the benches.  ``stats`` runs
@@ -52,6 +55,10 @@ latency comparison, all seeded and byte-identical across invocations.
 observability plane (:mod:`repro.harness.fleetlab`): federated metric
 rollups, ``tenant_migration`` trace spans, fleet-level SLO burn-rate
 alerting, and a deterministic schema-versioned ``fleet_report.json``.
+``diff`` is the differential forensics layer over all of the above
+(:mod:`repro.harness.difflab`): compare two bench documents, re-simulate
+a scenario under two configs to localize the first divergent trace
+event, or rank the critical-path resource shifts between two runs.
 """
 
 from __future__ import annotations
@@ -414,6 +421,10 @@ def main(argv: list[str] | None = None) -> int:
         from .fleetlab import main as fleet_main
 
         return fleet_main(argv[1:])
+    if argv and argv[0] == "diff":
+        from .difflab import main as diff_main
+
+        return diff_main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Regenerate SSDKeeper paper tables and figures.",
@@ -430,7 +441,8 @@ def main(argv: list[str] | None = None) -> int:
         "exact counterfactuals; 'repro profile' cProfiles its host hot paths; "
         "'repro drift' runs the adaptive keeper against adversarial tenant "
         "scenarios; 'repro fleet' runs a seeded multi-device scenario with "
-        "fleet-level observability rollups)",
+        "fleet-level observability rollups; 'repro diff' compares two "
+        "runs/bench reports and localizes the first divergence)",
     )
     parser.add_argument(
         "--scale",

@@ -52,6 +52,18 @@ from .critpath import (
     CritPathError,
     extract_critical_path,
 )
+from .diff import (
+    DIFF_SCHEMA_VERSION,
+    DiffError,
+    build_diff_report,
+    diff_bench_docs,
+    diff_critpath_docs,
+    diff_fleet_devices,
+    diff_run,
+    diff_traces,
+    load_diff,
+    write_diff,
+)
 from .fleet import (
     FLEET_SCHEMA_VERSION,
     FleetObserver,
@@ -133,6 +145,16 @@ __all__ = [
     "UtilizationProfiler",
     "to_chrome_trace",
     "write_chrome_trace",
+    "DIFF_SCHEMA_VERSION",
+    "DiffError",
+    "build_diff_report",
+    "diff_bench_docs",
+    "diff_critpath_docs",
+    "diff_fleet_devices",
+    "diff_run",
+    "diff_traces",
+    "load_diff",
+    "write_diff",
 ]
 
 

@@ -33,8 +33,10 @@ from .trace import TraceEvent
 
 __all__ = [
     "to_chrome_trace",
+    "to_diff_chrome_trace",
     "to_fleet_chrome_trace",
     "write_chrome_trace",
+    "write_diff_chrome_trace",
     "write_fleet_chrome_trace",
 ]
 
@@ -231,6 +233,91 @@ def to_fleet_chrome_trace(
             _trace_records(list(device_events[dev]), device=dev)
         )
     return {"traceEvents": records, "displayTimeUnit": "ms"}
+
+
+def _coerce_events(events: Iterable) -> list[TraceEvent]:
+    """Accept TraceEvent objects or their plain-dict form interchangeably.
+
+    The diff comparators hand events around as dicts (the JSONL schema);
+    the exporters want objects — accept both so a forensics bundle can be
+    re-exported without a round-trip through ``read_jsonl``.
+    """
+    out = []
+    for event in events:
+        if isinstance(event, TraceEvent):
+            out.append(event)
+        else:
+            out.append(
+                TraceEvent(
+                    event["ts_us"], event["name"], event.get("track", ""),
+                    event.get("cat", "sim"), event.get("dur_us"),
+                    event.get("args"),
+                )
+            )
+    return out
+
+
+def to_diff_chrome_trace(
+    events_a: Iterable,
+    events_b: Iterable,
+    *,
+    first_divergence: dict | None = None,
+) -> dict:
+    """Side-by-side diff trace: both runs plus divergence marker spans.
+
+    Side A occupies the ``device 0`` pid namespace and side B ``device
+    1``, so Perfetto shows the two runs as adjacent process groups over
+    one shared time axis.  When ``first_divergence`` (the ``trace``
+    section of a run-diff report) is given, a dedicated **diff** process
+    at the top carries a ``first_divergence`` instant at the moment the
+    histories forked and a ``divergent_region`` span covering everything
+    after it — scroll to the marker, read the two rows below it.
+    """
+    a = _coerce_events(events_a)
+    b = _coerce_events(events_b)
+    records: list[dict] = []
+    markers: list[TraceEvent] = []
+    if first_divergence is not None:
+        ts_candidates = [
+            first_divergence.get("time_us_a"),
+            first_divergence.get("time_us_b"),
+        ]
+        ts = min((t for t in ts_candidates if t is not None), default=0.0)
+        end = max((e.ts_us + (e.dur_us or 0.0) for e in a + b), default=ts)
+        args = {
+            key: first_divergence.get(key)
+            for key in ("index", "kind", "tenant", "channel", "die")
+        }
+        markers.append(
+            TraceEvent(ts, "first_divergence", "divergence", "diff",
+                       None, args)
+        )
+        if end > ts:
+            markers.append(
+                TraceEvent(ts, "divergent_region", "divergence", "diff",
+                           end - ts, args)
+            )
+    if markers:
+        records.extend(_grouped_records(markers, _FLEET_PID, "diff"))
+    records.extend(_trace_records(a, device=0))
+    records.extend(_trace_records(b, device=1))
+    return {"traceEvents": records, "displayTimeUnit": "ms"}
+
+
+def write_diff_chrome_trace(
+    events_a: Iterable,
+    events_b: Iterable,
+    path,
+    *,
+    first_divergence: dict | None = None,
+) -> int:
+    """Write the side-by-side diff trace; returns the record count."""
+    doc = to_diff_chrome_trace(
+        events_a, events_b, first_divergence=first_divergence
+    )
+    with open(path, "w") as fh:
+        json.dump(doc, fh)
+    return len(doc["traceEvents"])
 
 
 def write_chrome_trace(

@@ -226,6 +226,37 @@ class TestCli:
         assert "REGRESSION" in err
         assert "sim_mean_read_us" in err
 
+    def test_regression_emits_forensics_bundle(self, tmp_path, capsys):
+        from repro.obs.diff import load_diff
+
+        code, _, _ = self.run_main(
+            ["--quick", "--scenario", "mix2_shared", "--out", str(tmp_path)],
+            capsys,
+        )
+        assert code == 0
+        baseline_path = next(tmp_path.glob("BENCH_*.json"))
+        doc = json.loads(baseline_path.read_text())
+        doc["scenarios"]["mix2_shared"]["metrics"]["sim_mean_read_us"] /= 10.0
+        baseline_path.write_text(json.dumps(doc))
+        code, _, err = self.run_main(
+            ["--quick", "--scenario", "mix2_shared", "--no-write",
+             "--out", str(tmp_path), "--baseline", str(baseline_path),
+             "--max-regression", "500"],
+            capsys,
+        )
+        assert code == 1
+        assert "forensics bundle" in err
+        report = load_diff(
+            json.loads((tmp_path / "diff_report.json").read_text())
+        )
+        assert report["kind"] == "bench"
+        entry = report["sections"]["bench"]["scenarios"]["mix2_shared"]
+        assert entry["metrics"]["sim_mean_read_us"]["classification"] == (
+            "regressed"
+        )
+        # the regression ships with its attribution-delta waterfall
+        assert "waterfall" in entry
+
     def test_update_baseline_writes_instead_of_comparing(self, tmp_path,
                                                          capsys):
         target = tmp_path / "nested" / "base.json"
@@ -392,12 +423,54 @@ class TestTrajectory:
             "2026-01-01T00:00:00Z", "2026-01-02T00:00:00Z",
         ]
 
-    def test_rejects_invalid_committed_file(self, tmp_path):
+    def test_skips_older_schema_file_with_warning(self, tmp_path):
         from repro.harness.bench import load_trajectory
 
+        self.write_run(tmp_path, "2026-01-01T00:00:00Z")
         (tmp_path / "BENCH_bad.json").write_text('{"schema_version": 99}')
-        with pytest.raises(ValueError):
-            load_trajectory(tmp_path)
+        with pytest.warns(UserWarning, match="skipping BENCH_bad.json"):
+            runs = load_trajectory(tmp_path)
+        assert [r["doc"]["created"] for r in runs] == ["2026-01-01T00:00:00Z"]
+
+    def test_skips_invoke_on_skip_callback_with_reason(self, tmp_path):
+        from repro.harness.bench import load_trajectory
+
+        self.write_run(tmp_path, "2026-01-01T00:00:00Z")
+        (tmp_path / "BENCH_old.json").write_text('{"schema_version": 99}')
+        (tmp_path / "BENCH_trunc.json").write_text("{not json")
+        skipped = []
+        runs = load_trajectory(
+            tmp_path, on_skip=lambda name, reason: skipped.append((name, reason))
+        )
+        assert len(runs) == 1
+        assert sorted(name for name, _ in skipped) == [
+            "BENCH_old.json", "BENCH_trunc.json",
+        ]
+        reasons = dict(skipped)
+        assert "schema_version" in reasons["BENCH_old.json"]
+
+    def test_skips_document_without_created_stamp(self, tmp_path):
+        from repro.harness.bench import load_trajectory
+
+        path = self.write_run(tmp_path, "2026-01-01T00:00:00Z")
+        doc = json.loads(path.read_text())
+        doc["created"] = None
+        (tmp_path / "BENCH_nostamp.json").write_text(json.dumps(doc))
+        skipped = []
+        runs = load_trajectory(
+            tmp_path, on_skip=lambda name, reason: skipped.append(reason)
+        )
+        assert len(runs) == 1
+        assert "created" in skipped[0]
+
+    def test_cli_trajectory_reports_skips_on_stderr(self, tmp_path, capsys):
+        self.write_run(tmp_path, "2026-01-01T00:00:00Z")
+        (tmp_path / "BENCH_bad.json").write_text("{not json")
+        code = main(["--trajectory", str(tmp_path)])
+        captured = capsys.readouterr()
+        assert code == 0
+        assert "skipping BENCH_bad.json" in captured.err
+        assert "BENCH_" in captured.out
 
     def test_format_shows_deltas_between_consecutive_runs(self, tmp_path):
         from repro.harness.bench import format_trajectory, load_trajectory

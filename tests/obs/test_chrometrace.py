@@ -212,3 +212,66 @@ class TestFleetChromeTrace:
         )
         doc = json.loads(path.read_text())
         assert written == len(doc["traceEvents"])
+
+
+class TestDiffChromeTrace:
+    def test_sides_occupy_adjacent_device_namespaces(self):
+        from repro.obs.chrometrace import to_diff_chrome_trace
+
+        doc = to_diff_chrome_trace(sample_events(), sample_events())
+        records = doc["traceEvents"]
+        process_names = {
+            r["args"]["name"] for r in records
+            if r["ph"] == "M" and r["name"] == "process_name"
+        }
+        assert any(n.startswith("device 0 / ") for n in process_names)
+        assert any(n.startswith("device 1 / ") for n in process_names)
+        # both sides carry the full event stream
+        assert sum(1 for r in records if r["ph"] in ("X", "i")) == 8
+
+    def test_accepts_plain_dict_events(self):
+        from repro.obs.chrometrace import to_diff_chrome_trace
+
+        dicts = [e.to_dict() for e in sample_events()]
+        assert to_diff_chrome_trace(dicts, dicts) == to_diff_chrome_trace(
+            sample_events(), sample_events()
+        )
+
+    def test_divergence_markers_span_the_forked_region(self):
+        from repro.obs.chrometrace import to_diff_chrome_trace
+
+        first = {"index": 2, "time_us_a": 3.5, "time_us_b": 4.0,
+                 "kind": "channel_release", "tenant": None, "channel": 0,
+                 "die": None}
+        doc = to_diff_chrome_trace(
+            sample_events(), sample_events(), first_divergence=first
+        )
+        records = doc["traceEvents"]
+        marker = [r for r in records if r["name"] == "first_divergence"]
+        assert len(marker) == 1
+        assert marker[0]["ph"] == "i"
+        assert marker[0]["ts"] == 3.5  # min(time_us_a, time_us_b)
+        assert marker[0]["args"]["channel"] == 0
+        assert marker[0]["args"]["index"] == 2
+        region = next(r for r in records if r["name"] == "divergent_region")
+        assert region["ph"] == "X"
+        assert region["ts"] == 3.5
+        assert region["dur"] == 38.0  # up to die_acquire end (1.5 + 40.0)
+
+    def test_no_markers_without_first_divergence(self):
+        from repro.obs.chrometrace import to_diff_chrome_trace
+
+        doc = to_diff_chrome_trace(sample_events(), sample_events())
+        names = {r["name"] for r in doc["traceEvents"]}
+        assert "first_divergence" not in names
+        assert "divergent_region" not in names
+
+    def test_write_returns_record_count(self, tmp_path):
+        from repro.obs.chrometrace import write_diff_chrome_trace
+
+        path = tmp_path / "diff_trace.json"
+        count = write_diff_chrome_trace(
+            sample_events(), sample_events(), path
+        )
+        doc = json.loads(path.read_text())
+        assert count == len(doc["traceEvents"]) > 0

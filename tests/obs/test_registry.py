@@ -273,3 +273,62 @@ class TestOpenMetrics:
         reg = MetricsRegistry()
         reg.histogram("lat").observe(float("nan"))
         assert "obs_dropped_samples_total 1" in reg.to_openmetrics()
+
+class TestOpenMetricsLabels:
+    def make_registry(self):
+        reg = MetricsRegistry()
+        reg.counter("sim.requests").inc(7)
+        reg.gauge("sim.makespan_us").set(12.5)
+        h = reg.histogram("sim.read_latency_us", buckets=[10.0])
+        h.observe(5.0)
+        return reg
+
+    def test_no_labels_output_is_unchanged(self):
+        # the labelled path must be byte-identical to the historical
+        # exposition when no label set is attached
+        reg = self.make_registry()
+        assert reg.to_openmetrics() == reg.to_openmetrics(labels=None)
+        assert "sim_requests_total 7" in reg.to_openmetrics()
+
+    def test_labels_attach_to_every_sample(self):
+        text = self.make_registry().to_openmetrics(
+            labels={"device": "0", "scenario": "gc_heavy"}
+        )
+        base = '{device="0",scenario="gc_heavy"}'
+        assert f"sim_requests_total{base} 7" in text
+        assert f"sim_makespan_us{base} 12.5" in text
+        assert f"sim_read_latency_us_sum{base} 5" in text
+        assert f"sim_read_latency_us_count{base} 1" in text
+        # histogram buckets merge the constant labels with ``le``
+        assert ('sim_read_latency_us_bucket{device="0",le="10",'
+                'scenario="gc_heavy"} 1') in text
+        assert ('sim_read_latency_us_bucket{device="0",le="+Inf",'
+                'scenario="gc_heavy"} 1') in text
+
+    def test_label_keys_render_sorted_for_determinism(self):
+        text = self.make_registry().to_openmetrics(
+            labels={"zeta": "1", "alpha": "2"}
+        )
+        assert 'sim_requests_total{alpha="2",zeta="1"} 7' in text
+
+    def test_label_values_escaped_per_openmetrics_abnf(self):
+        # golden line: backslash, double-quote, and newline must all
+        # survive an exposition parser
+        text = self.make_registry().to_openmetrics(
+            labels={"scenario": 'a"b\\c\nd'}
+        )
+        golden = 'sim_requests_total{scenario="a\\"b\\\\c\\nd"} 7'
+        assert golden in text
+        assert "\n\n" not in text  # the raw newline never leaks through
+
+    def test_backslash_escaped_before_quote_and_newline(self):
+        # the regression the escape order guards against: a value ending
+        # in a backslash must not swallow the closing quote
+        text = self.make_registry().to_openmetrics(labels={"path": "C:\\"})
+        assert 'sim_requests_total{path="C:\\\\"} 7' in text
+
+    def test_dropped_samples_carry_the_label_set(self):
+        reg = self.make_registry()
+        reg.gauge("sim.makespan_us").set(float("inf"))
+        text = reg.to_openmetrics(labels={"device": "3"})
+        assert 'obs_dropped_samples_total{device="3"} 1' in text
